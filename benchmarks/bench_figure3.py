@@ -1,0 +1,37 @@
+"""Figure 3: affinity dynamics on Circular and HalfRandom(300).
+
+Regenerates the three snapshots (t = 20k, 100k, 1000k) of both
+behaviours and checks the paper's converged transition frequencies:
+~1/2000 on Circular, ~1/300 on HalfRandom(300).
+"""
+
+from conftest import run_once
+
+from repro.experiments.figure3 import render_figure3, run_figure3
+
+
+def test_figure3(benchmark):
+    results = run_once(benchmark, run_figure3)
+    print()
+    print(render_figure3(results))
+
+    circular = results["Circular"][-1]
+    half_random = results["HalfRandom(300)"][-1]
+
+    # Paper: optimal split at convergence — two sign runs, balance 1/2.
+    assert circular.sign_runs <= 4
+    assert 0.45 <= circular.balance <= 0.55
+    assert half_random.sign_runs <= 4
+    assert 0.45 <= half_random.balance <= 0.55
+
+    # Paper: 1 transition / 2000 refs (Circular), 1 / 300 (HalfRandom).
+    assert circular.tail_transition_frequency <= 2.0 / 2000 * 2
+    assert half_random.tail_transition_frequency <= 1.0 / 300 * 2
+
+    benchmark.extra_info["circular_trans_freq"] = (
+        circular.tail_transition_frequency
+    )
+    benchmark.extra_info["halfrandom_trans_freq"] = (
+        half_random.tail_transition_frequency
+    )
+    benchmark.extra_info["circular_sign_runs"] = circular.sign_runs

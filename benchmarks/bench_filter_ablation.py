@@ -1,0 +1,89 @@
+"""Ablation (section 3.4): transition-filter width.
+
+The paper's trade-off: each added filter bit halves the transition
+frequency on unsplittable working sets (good: fewer useless migrations)
+but doubles the reaction delay on splittable ones (bad: slower
+adaptation).  Checks both directions plus the exact halving law at the
+filter level under the paper's saturated-affinity idealisation.
+"""
+
+from conftest import run_once
+
+from repro.analysis.sweeps import filter_width_sweep
+from repro.common.rng import make_rng
+from repro.core.transition_filter import TransitionFilter
+from repro.traces.synthetic import HalfRandom, UniformRandom
+
+
+def test_filter_width_on_random_set(benchmark):
+    points = run_once(
+        benchmark,
+        lambda: filter_width_sweep(
+            lambda: UniformRandom(3000, seed=9),
+            filter_bits_list=[16, 17, 18, 19],
+            num_references=600_000,
+        ),
+    )
+    print()
+    print("UniformRandom(3000): transition frequency vs filter width")
+    for point in points:
+        print(f"  F={point.filter_bits} bits  tail_freq={point.tail_frequency:.5f}")
+    frequencies = [p.tail_frequency for p in points]
+    assert frequencies == sorted(frequencies, reverse=True)
+    assert frequencies[0] > 3 * frequencies[-1]  # 3 bits ≈ 8x ideally
+    benchmark.extra_info["frequencies"] = {
+        p.filter_bits: round(p.tail_frequency, 5) for p in points
+    }
+
+
+def test_halving_law_saturated(benchmark):
+    """1/2^(1+f-16) with affinities pinned at ±2^15 (paper's example:
+    20-bit filter -> ~3%)."""
+
+    def sweep():
+        rng = make_rng(11)
+        steps = rng.choice([-(1 << 15), 1 << 15], size=400_000)
+        results = {}
+        for bits in (17, 18, 19, 20):
+            filter_ = TransitionFilter(bits)
+            flips = 0
+            previous = filter_.subset
+            for step in steps:
+                subset = filter_.update(int(step))
+                if subset != previous:
+                    flips += 1
+                previous = subset
+            results[bits] = flips / len(steps)
+        return results
+
+    results = run_once(benchmark, sweep)
+    print()
+    print("saturated-affinity flip rate vs width (ideal 1/2^(1+f-16)):")
+    for bits, rate in results.items():
+        print(f"  F={bits}  measured={rate:.5f}  ideal={1 / 2 ** (1 + bits - 16):.5f}")
+    for bits, rate in results.items():
+        ideal = 1 / 2 ** (1 + bits - 16)
+        assert abs(rate - ideal) / ideal < 0.2, bits
+    # The paper's 20-bit example: ~3%.
+    assert results[20] < 0.04
+
+
+def test_filter_width_delay_on_splittable_set(benchmark):
+    """Wider filters keep splittable sets transitioning, just later:
+    the frequency stays near 1/m, the per-transition delay grows."""
+    burst = 200
+    points = run_once(
+        benchmark,
+        lambda: filter_width_sweep(
+            lambda: HalfRandom(1000, burst, seed=2),
+            filter_bits_list=[16, 18, 20],
+            num_references=500_000,
+            window_size=100,
+        ),
+    )
+    print()
+    print(f"HalfRandom({burst}): frequency vs width (should stay ~1/{burst})")
+    for point in points:
+        print(f"  F={point.filter_bits}  tail_freq={point.tail_frequency:.5f}")
+    for point in points:
+        assert point.tail_frequency > 1.0 / (4 * burst), point.filter_bits

@@ -1,0 +1,54 @@
+"""Ablation (section 3.4, "L2 filtering"): update the transition filter
+only on L2 misses.
+
+Paper: "When a working-set fits in a single L2 cache, migrations are
+useless ... it is possible to decrease unnecessary migrations by
+updating the transition filter only on L2 misses" and, in section 4.2,
+"L2 filtering is very effective at limiting unnecessary migrations".
+
+The ablation runs the same L2-resident workload on the four-core chip
+with and without L2 filtering and compares migration counts.
+"""
+
+from conftest import run_once
+
+from repro.caches.hierarchy import CoreCacheConfig
+from repro.core.controller import ControllerConfig
+from repro.multicore.chip import ChipConfig, MultiCoreChip
+from repro.traces.synthetic import UniformRandom, behavior_trace
+
+CACHES = CoreCacheConfig(
+    il1_bytes=1024, dl1_bytes=1024, l1_ways=4, l2_bytes=8 * 1024, l2_ways=4
+)
+
+
+def run_chip(l2_filtering: bool) -> MultiCoreChip:
+    controller = ControllerConfig(
+        num_subsets=4,
+        filter_bits=12,
+        x_window_size=16,
+        y_window_size=8,
+        l2_filtering=l2_filtering,
+    )
+    chip = MultiCoreChip(
+        ChipConfig(num_cores=4, caches=CACHES, controller=controller)
+    )
+    # 6 KB random working set: fits the 8 KB L2, misses the 1 KB L1s
+    # constantly -> plenty of L1-miss requests, almost no L2 misses.
+    chip.run(behavior_trace(UniformRandom(96, seed=5), 300_000))
+    return chip
+
+
+def test_l2_filtering_suppresses_useless_migrations(benchmark):
+    def run():
+        return run_chip(l2_filtering=True), run_chip(l2_filtering=False)
+
+    filtered, unfiltered = run_once(benchmark, run)
+    print()
+    print("L2-resident random working set (fits one L2):")
+    print(f"  with L2 filtering   : {filtered.stats.migrations:>8,} migrations")
+    print(f"  without L2 filtering: {unfiltered.stats.migrations:>8,} migrations")
+    assert filtered.stats.l2_misses < filtered.stats.l1_miss_requests / 20
+    assert filtered.stats.migrations * 10 < unfiltered.stats.migrations
+    benchmark.extra_info["migrations_filtered"] = filtered.stats.migrations
+    benchmark.extra_info["migrations_unfiltered"] = unfiltered.stats.migrations

@@ -1,0 +1,42 @@
+"""Extension bench (paper section 6): pointer-load filtering.
+
+"One could decide to restrict the class of applications triggering
+migrations by having the transition filter updated only on requests
+coming from pointer loads."  The mini-Olden heap tags pointer
+accesses, so the policy can be evaluated directly: transitions must
+only go down, and linked-data-structure codes (the intended
+beneficiaries) must keep transitioning.
+"""
+
+from conftest import run_once
+
+from repro.analysis.pointer_filtering import run_pointer_filtering
+from repro.olden import olden_benchmark
+
+
+def test_pointer_filtering_on_olden(benchmark, bench_scale):
+    def run():
+        results = {}
+        for name in ("em3d", "health", "bisort"):
+            trace = olden_benchmark(name, scale=min(0.5, bench_scale))
+            results[name] = run_pointer_filtering(trace)
+        return results
+
+    results = run_once(benchmark, run)
+    print()
+    print("transition filter updated on all misses vs pointer accesses only:")
+    for name, result in results.items():
+        print(
+            f"  {name:8s} pointer_frac={result.pointer_fraction:.2f}  "
+            f"trans all={result.transitions_unfiltered:>6,}  "
+            f"pointer-only={result.transitions_pointer_only:>6,}  "
+            f"suppression={result.suppression:.2f}"
+        )
+    for name, result in results.items():
+        assert (
+            result.transitions_pointer_only <= result.transitions_unfiltered
+        ), name
+        assert 0.0 < result.pointer_fraction < 1.0, name
+    benchmark.extra_info["suppression"] = {
+        name: round(result.suppression, 3) for name, result in results.items()
+    }

@@ -1,0 +1,96 @@
+"""Extension bench (paper section 6): prefetching vs execution migration.
+
+The paper's conclusion draws a careful boundary:
+
+* "much of the 'splittability' we observed seems to come from circular
+  working-set behaviors on which prefetching is likely to succeed" —
+  on Circular, a stride prefetcher alone should remove most L2 misses,
+  leaving migration little to add;
+* "In theory, there is more to 'splittability' than predictability
+  (e.g., HalfRandom)" — HalfRandom is *splittable but unpredictable*:
+  the prefetcher is blind to it while migration still wins.
+
+The bench runs the 2x2 grid {prefetch off/on} x {migration off/on} on
+both behaviours, at the miniature Table 2 geometry.
+"""
+
+from conftest import run_once
+
+from repro.caches.hierarchy import CoreCacheConfig, SingleCoreHierarchy
+from repro.caches.prefetch import StridePrefetcher
+from repro.core.controller import ControllerConfig
+from repro.multicore.chip import ChipConfig, MultiCoreChip
+from repro.traces.synthetic import Circular, HalfRandom, behavior_trace
+
+CACHES = CoreCacheConfig(
+    il1_bytes=1024, dl1_bytes=1024, l1_ways=4, l2_bytes=8 * 1024, l2_ways=4
+)
+CONTROLLER = ControllerConfig(
+    num_subsets=4, filter_bits=12, x_window_size=32, y_window_size=16,
+    l2_filtering=True,
+)
+
+
+def l2_misses(trace, migration: bool, prefetch: bool) -> int:
+    factory = (
+        (lambda l2: StridePrefetcher(l2, degree=4)) if prefetch else None
+    )
+    if migration:
+        chip = MultiCoreChip(
+            ChipConfig(num_cores=4, caches=CACHES, controller=CONTROLLER),
+            prefetcher_factory=factory,
+        )
+        chip.run(trace)
+        return chip.stats.l2_misses
+    hierarchy = SingleCoreHierarchy(CACHES, prefetcher_factory=factory)
+    for access in trace:
+        hierarchy.access(access)
+    return hierarchy.stats.l2_misses
+
+
+def grid(behavior, references):
+    trace = list(behavior_trace(behavior, references))
+    return {
+        (migration, prefetch): l2_misses(trace, migration, prefetch)
+        for migration in (False, True)
+        for prefetch in (False, True)
+    }
+
+
+def show(name, results):
+    print(f"\n{name}: L2 misses")
+    print(f"  plain                 : {results[(False, False)]:>8,}")
+    print(f"  prefetch only         : {results[(False, True)]:>8,}")
+    print(f"  migration only        : {results[(True, False)]:>8,}")
+    print(f"  prefetch + migration  : {results[(True, True)]:>8,}")
+
+
+def test_prefetch_covers_circular(benchmark):
+    """On a predictable circular sweep, prefetching alone removes most
+    misses — migration's add-on is small (the paper's caveat)."""
+    results = run_once(benchmark, lambda: grid(Circular(400), 300_000))
+    show("Circular(400) (predictable, splittable)", results)
+    plain = results[(False, False)]
+    assert results[(False, True)] < plain * 0.4  # prefetch succeeds
+    assert results[(True, False)] < plain * 0.5  # migration also wins
+    benchmark.extra_info["misses"] = {
+        f"mig={m},pf={p}": v for (m, p), v in results.items()
+    }
+
+
+def test_migration_wins_where_prefetch_cannot(benchmark):
+    """HalfRandom: splittable but unpredictable — the regime where
+    execution migration is *not* replaceable by prefetching."""
+    # 200 lines = 12.8 KB: exceeds one 8-KB L2, each 6.4-KB half fits.
+    results = run_once(
+        benchmark, lambda: grid(HalfRandom(200, 2000, seed=7), 300_000)
+    )
+    show("HalfRandom (unpredictable, splittable)", results)
+    plain = results[(False, False)]
+    assert results[(False, True)] > plain * 0.8  # prefetch blind
+    assert results[(True, False)] < plain * 0.6  # migration wins
+    # And they compose: adding migration on top of prefetching helps.
+    assert results[(True, True)] < results[(False, True)] * 0.7
+    benchmark.extra_info["misses"] = {
+        f"mig={m},pf={p}": v for (m, p), v in results.items()
+    }

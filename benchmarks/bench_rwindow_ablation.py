@@ -1,0 +1,74 @@
+"""Ablation (section 3.3): R-window size.
+
+Checks the paper's two R-window claims:
+
+* Circular(N) splits iff N > 2|R| ("the algorithm is able to split a
+  Circular working-set if N > 2|R|, but not if N <= 2|R|");
+* after convergence the transition frequency never exceeds 1/(2|R|)
+  ("the R-window acts as a sort of low-pass filter");
+* HalfRandom(m) wants |R| not much larger than m ("one should not take
+  |R| much larger than m").
+"""
+
+from conftest import run_once
+
+from repro.analysis.sweeps import rwindow_sweep
+from repro.traces.synthetic import Circular, HalfRandom
+
+
+def test_rwindow_circular(benchmark):
+    points = run_once(
+        benchmark,
+        lambda: rwindow_sweep(
+            lambda: Circular(800),
+            window_sizes=[25, 50, 100, 200, 400, 800],
+            num_references=600_000,
+        ),
+    )
+    print()
+    print("Circular(800): split vs |R|  (paper: splits iff N > 2|R|)")
+    for point in points:
+        print(
+            f"  |R|={point.window_size:>4}  tail_freq={point.tail_frequency:.5f}"
+            f"  balance={point.balance:.3f}  split={point.split_achieved}"
+        )
+    by_window = {p.window_size: p for p in points}
+    for window in (25, 50, 100, 200):  # N = 800 > 2|R|
+        assert by_window[window].split_achieved, window
+    for window in (400, 800):  # N <= 2|R|
+        assert not by_window[window].split_achieved, window
+    # Low-pass bound where split.
+    for window in (25, 50, 100, 200):
+        assert by_window[window].tail_frequency <= 1.5 / (2 * window)
+    benchmark.extra_info["split_by_window"] = {
+        p.window_size: p.split_achieved for p in points
+    }
+
+
+def test_rwindow_halfrandom(benchmark):
+    """|R| ~ m splits HalfRandom(m); |R| >> m loses the positive
+    feedback ('the positive feedback effect is lost in noise')."""
+    burst = 50
+    points = run_once(
+        benchmark,
+        lambda: rwindow_sweep(
+            lambda: HalfRandom(1200, burst, seed=1),
+            window_sizes=[25, 50, 400],
+            num_references=600_000,
+        ),
+    )
+    print()
+    print(f"HalfRandom({burst}): split vs |R|")
+    for point in points:
+        print(
+            f"  |R|={point.window_size:>4}  tail_freq={point.tail_frequency:.5f}"
+            f"  balance={point.balance:.3f}  split={point.split_achieved}"
+        )
+    by_window = {p.window_size: p for p in points}
+    assert 0.2 <= by_window[50].balance <= 0.8  # |R| = m: splits
+    # |R| = 8m: visibly worse balance or much higher cut than |R| = m.
+    degraded = (
+        not (0.3 <= by_window[400].balance <= 0.7)
+        or by_window[400].tail_frequency > 3 * by_window[50].tail_frequency
+    )
+    assert degraded

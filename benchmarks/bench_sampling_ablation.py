@@ -1,0 +1,70 @@
+"""Ablation (section 3.5): working-set sampling.
+
+Sampling shrinks the affinity cache (only sampled lines get entries)
+and reduces filter updates proportionally ("if only 25% of references
+update the transition filter, the transition filter can be 2 bits
+shorter").  The split quality must survive sampling — that's the whole
+point.
+"""
+
+from collections import Counter
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.sweeps import sampling_sweep
+from repro.core.controller import ControllerConfig, MigrationController
+from repro.core.sampling import SamplingPolicy
+from repro.traces.synthetic import Circular
+
+
+def test_sampling_reduces_filter_updates(benchmark):
+    points = run_once(
+        benchmark,
+        lambda: sampling_sweep(
+            lambda: Circular(3000),
+            residue_counts=[31, 16, 8, 4],
+            num_references=400_000,
+        ),
+    )
+    print()
+    print("Circular(3000): filter updates vs sampling ratio")
+    for point in points:
+        print(
+            f"  residues={point.sampled_residues:>2}/31 "
+            f"({point.sample_fraction:.2f})  updates={point.filter_updates:,}"
+            f"  trans_freq={point.overall_frequency:.5f}"
+        )
+    updates = [p.filter_updates for p in points]
+    assert updates == sorted(updates, reverse=True)
+    # Update counts track the sampling fraction.
+    assert updates[2] / updates[0] == pytest.approx(8 / 31, rel=0.1)
+    benchmark.extra_info["updates"] = {
+        p.sampled_residues: p.filter_updates for p in points
+    }
+
+
+def test_split_survives_25_percent_sampling(benchmark):
+    """A 4-way controller with the paper's 25% sampling still quarters
+    a circular working set."""
+
+    def run():
+        config = ControllerConfig(
+            num_subsets=4,
+            filter_bits=18,
+            sampling=SamplingPolicy.quarter(),
+        )
+        controller = MigrationController(config)
+        assignment = {}
+        for element in Circular(4000).addresses(1_200_000):
+            assignment[element] = controller.observe(element)
+        return Counter(assignment.values()), controller.stats
+
+    sizes, stats = run_once(benchmark, run)
+    print()
+    print(f"25%-sampled 4-way split of Circular(4000): {dict(sorted(sizes.items()))}")
+    print(f"transition frequency: {stats.transition_frequency:.5f}")
+    assert len(sizes) == 4
+    assert min(sizes.values()) > 4000 * 0.12
+    assert stats.transition_frequency < 0.01
+

@@ -1,0 +1,39 @@
+"""Table 1: benchmark inventory (instructions, IL1/DL1 misses).
+
+Regenerates the paper's benchmark table for all 18 workloads and checks
+the qualitative calibration facts it encodes: the instruction-miss-heavy
+benchmarks are gcc, crafty and vortex; everything else is data-miss
+dominated.
+"""
+
+from conftest import run_once
+
+from repro.experiments.table1 import render_table1, run_table1
+
+
+def test_table1(benchmark, bench_scale):
+    rows = run_once(benchmark, lambda: run_table1(scale=bench_scale))
+    print()
+    print(render_table1(rows))
+
+    by_name = {row.name: row for row in rows}
+    assert len(rows) == 18
+
+    # Paper Table 1: i-miss-heavy benchmarks.
+    for name in ("176.gcc", "186.crafty", "255.vortex"):
+        assert by_name[name].il1_misses > by_name[name].dl1_misses, name
+    # Everyone else is data-dominated.
+    for name in ("179.art", "181.mcf", "171.swim", "em3d", "health"):
+        assert by_name[name].dl1_misses > by_name[name].il1_misses, name
+    # Olden benchmarks have essentially no instruction misses (tiny code).
+    for name in ("bh", "bisort", "em3d", "health", "mst"):
+        assert by_name[name].il1_misses == 0, name
+
+    benchmark.extra_info["rows"] = {
+        row.name: {
+            "instructions": row.instructions,
+            "il1": row.il1_misses,
+            "dl1": row.dl1_misses,
+        }
+        for row in rows
+    }

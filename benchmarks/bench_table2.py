@@ -1,0 +1,65 @@
+"""Table 2: the four-core processor with 512-KB L2 caches.
+
+Regenerates the paper's headline table — instructions per L1 miss, per
+L2 miss (single core), per L2 miss with migration ("4xL2"), the miss
+ratio, and migrations — for all 18 workloads, and checks the paper's
+qualitative outcome classes:
+
+* migration removes L2 misses (ratio < 1): art, mcf, ammp, bzip2,
+  em3d, health;
+* neutral (ratio ~ 1): swim, mgrid, parser, twolf, mst (too-big or
+  L2-resident working sets; "migrations are reduced thanks to the
+  limited size affinity cache" / "L2 filtering is very effective");
+* no benchmark melts down: migrations stay "under control" everywhere.
+"""
+
+from conftest import run_once
+
+from repro.experiments.table2 import render_table2, run_table2
+
+WINNERS = ("179.art", "188.ammp", "256.bzip2", "181.mcf", "em3d", "health")
+NEUTRAL = ("171.swim", "172.mgrid", "197.parser", "300.twolf", "mst")
+QUIET = ("300.twolf", "bh", "186.crafty")  # L2-resident: few migrations
+
+
+def test_table2(benchmark, bench_scale):
+    rows = run_once(benchmark, lambda: run_table2(scale=bench_scale))
+    print()
+    print(render_table2(rows))
+
+    by_name = {row.name: row for row in rows}
+    assert len(rows) == 18
+
+    # Convergence is trace-length-limited (DESIGN.md §6): at full
+    # scale the winners must actually win; at reduced scale they must
+    # at least never lose.
+    win_threshold = 0.95 if bench_scale >= 0.75 else 1.02
+    for name in WINNERS:
+        assert by_name[name].ratio < win_threshold, (name, by_name[name].ratio)
+    for name in NEUTRAL:
+        ratio = by_name[name].ratio
+        assert ratio != ratio or 0.85 <= ratio <= 1.25, (name, ratio)
+
+    # L2 filtering keeps L2-resident working sets quiet (paper: "for
+    # instance on benchmarks with a small working-set already fitting in
+    # a single 512-Kbyte L2 cache (e.g., bh, 255.vortex, 186.crafty)").
+    for name in QUIET:
+        row = by_name[name]
+        assert row.migrations < row.instructions / 50_000, (
+            name,
+            row.migrations,
+        )
+
+    # The paper's mcf discussion: tens of L2 misses removed per
+    # migration on the winning pointer-chasing benchmark (needs a
+    # converged split, hence full scale).
+    if bench_scale >= 0.75:
+        assert by_name["181.mcf"].break_even_pmig > 10
+
+    benchmark.extra_info["ratios"] = {
+        row.name: None if row.ratio != row.ratio else round(row.ratio, 3)
+        for row in rows
+    }
+    benchmark.extra_info["migrations"] = {
+        row.name: row.migrations for row in rows
+    }

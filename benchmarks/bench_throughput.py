@@ -1,0 +1,78 @@
+"""Micro-benchmarks: simulation throughput of the hot components.
+
+These are classic pytest-benchmark timing runs (multiple rounds) for
+the structures everything else is built on.  They exist to catch
+performance regressions in the simulator itself — the paper
+reproductions above are throughput-bound on exactly these loops.
+"""
+
+from repro.caches.fully_assoc import FullyAssociativeCache
+from repro.caches.lru_stack import LruStack
+from repro.caches.set_assoc import SetAssociativeCache
+from repro.caches.skewed import SkewedAssociativeCache
+from repro.core.affinity_store import UnboundedAffinityStore
+from repro.core.controller import ControllerConfig, MigrationController
+from repro.core.mechanism import SplitMechanism
+from repro.traces.synthetic import UniformRandom
+
+REFS = list(UniformRandom(4096, seed=0).addresses(20_000))
+
+
+def test_fully_associative_cache_throughput(benchmark):
+    def run():
+        cache = FullyAssociativeCache(1024)
+        for line in REFS:
+            cache.access(line)
+        return cache.stats.misses
+
+    benchmark(run)
+
+
+def test_set_associative_cache_throughput(benchmark):
+    def run():
+        cache = SetAssociativeCache(256, 4)
+        for line in REFS:
+            cache.access(line)
+        return cache.stats.misses
+
+    benchmark(run)
+
+
+def test_skewed_cache_throughput(benchmark):
+    def run():
+        cache = SkewedAssociativeCache(256, 4)
+        for line in REFS:
+            cache.access(line)
+        return cache.stats.misses
+
+    benchmark(run)
+
+
+def test_lru_stack_throughput(benchmark):
+    def run():
+        stack = LruStack()
+        for line in REFS:
+            stack.access(line)
+        return stack.references
+
+    benchmark(run)
+
+
+def test_mechanism_throughput(benchmark):
+    def run():
+        mechanism = SplitMechanism(128, UnboundedAffinityStore())
+        for line in REFS:
+            mechanism.process(line)
+        return mechanism.references
+
+    benchmark(run)
+
+
+def test_controller_throughput(benchmark):
+    def run():
+        controller = MigrationController(ControllerConfig.four_core())
+        for line in REFS:
+            controller.observe(line)
+        return controller.stats.references
+
+    benchmark(run)

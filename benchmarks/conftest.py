@@ -1,0 +1,27 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table/figure (or ablation) of the paper
+at a configurable scale:
+
+* ``REPRO_BENCH_SCALE`` (default 0.35) multiplies every workload's
+  trace length.  ``pytest benchmarks/ --benchmark-only`` at the default
+  scale finishes in ~20 minutes on one core; ``REPRO_BENCH_SCALE=1.0``
+  reproduces the EXPERIMENTS.md numbers (about 4x longer).
+* Regenerated rows are printed (run with ``-s`` to see them) and the
+  headline numbers are attached to each benchmark's ``extra_info`` so
+  they land in the pytest-benchmark JSON.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+
+
+def run_once(benchmark, fn):
+    """Time one full regeneration (simulations are too slow to repeat)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Scale the split beyond four cores (paper section 6).
+
+The paper: "we believe it is possible to adapt it to a larger number of
+cores."  This example splits one working set 2-, 4- and 8-ways with the
+hierarchical controller and shows the aggregate-capacity effect on a
+miniature chip: a working set that overflows four small L2s fits eight.
+
+Run:  python examples/eight_way_scaling.py
+"""
+
+from collections import Counter
+
+from repro.caches.hierarchy import CoreCacheConfig
+from repro.core.controller import ControllerConfig
+from repro.core.multiway import HierarchicalConfig, HierarchicalController
+from repro.multicore.chip import ChipConfig, MultiCoreChip
+from repro.traces.synthetic import Circular, behavior_trace
+
+TINY = CoreCacheConfig(
+    il1_bytes=512, dl1_bytes=512, l1_ways=2, l2_bytes=4 * 1024, l2_ways=4
+)
+
+
+def split_quality(depth: int, working_set: int = 4000) -> None:
+    controller = HierarchicalController(
+        HierarchicalConfig(depth=depth, filter_bits=16)
+    )
+    last = {}
+    for e in Circular(working_set).addresses(1_200_000):
+        last[e] = controller.observe(e)
+    sizes = sorted(Counter(last.values()).values())
+    print(
+        f"  {2 ** depth}-way: subset sizes {sizes}  "
+        f"trans_freq={controller.stats.transition_frequency:.5f}"
+    )
+
+
+def chip_misses(num_cores: int, trace) -> int:
+    if num_cores == 4:
+        chip = MultiCoreChip(
+            ChipConfig(
+                num_cores=4,
+                caches=TINY,
+                controller=ControllerConfig(
+                    num_subsets=4, filter_bits=12,
+                    x_window_size=32, y_window_size=16, l2_filtering=True,
+                ),
+            )
+        )
+    else:
+        chip = MultiCoreChip(
+            ChipConfig(num_cores=num_cores, caches=TINY, controller=None),
+            controller=HierarchicalController(
+                HierarchicalConfig(
+                    depth=num_cores.bit_length() - 1,
+                    filter_bits=12,
+                    root_window_size=32,
+                    l2_filtering=True,
+                )
+            ),
+        )
+    chip.run(trace)
+    return chip.stats.l2_misses
+
+
+def main():
+    print("Splitting Circular(4000) at increasing fan-out:")
+    for depth in (1, 2, 3):
+        split_quality(depth)
+
+    print("\n24-KB working set on 4x4-KB vs 8x4-KB chips:")
+    trace = list(behavior_trace(Circular(384), 400_000))
+    four = chip_misses(4, trace)
+    eight = chip_misses(8, trace)
+    print(f"  4-core L2 misses : {four:>8,}")
+    print(f"  8-core L2 misses : {eight:>8,}")
+    print(f"  -> 8 cores remove {100 * (1 - eight / max(1, four)):.0f}% "
+          "of the remaining misses")
+
+
+if __name__ == "__main__":
+    main()

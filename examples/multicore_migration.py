@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Simulate the full four-core chip and watch execution migrate.
+
+Runs one splittable workload (the 179.art model) through both machines
+of Table 2 — a single core with one 512-KB L2, and the four-core chip
+in migration mode — and reports the L2-miss reduction, the migration
+frequency, and the break-even migration penalty P_mig, exactly the
+quantities the paper's Table 2 and section 4.2 discussion use.
+
+Run:  python examples/multicore_migration.py  [workload] [scale]
+"""
+
+import sys
+
+from repro.caches.hierarchy import SingleCoreHierarchy
+from repro.experiments.workloads import workload
+from repro.multicore.chip import ChipConfig, MultiCoreChip
+from repro.multicore.migration import MigrationPenaltyModel, break_even_pmig
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "179.art"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    spec = workload(name, scale=scale)
+
+    print(f"workload: {name} (scale {scale})")
+    print("running the single-core baseline (one 512-KB L2)...")
+    baseline = SingleCoreHierarchy()
+    for access in spec.accesses():
+        baseline.access(access)
+
+    print("running the 4-core chip in migration mode...")
+    chip = MultiCoreChip(ChipConfig())
+    chip.run(spec.accesses())
+
+    stats = chip.stats
+    print(f"\ninstructions         : {stats.instructions:,}")
+    print(f"L1 misses            : {stats.l1_misses:,}")
+    print(f"L2 misses, 1 core    : {baseline.stats.l2_misses:,}")
+    print(f"L2 misses, 4 cores   : {stats.l2_misses:,}  (with migration)")
+    if baseline.stats.l2_misses:
+        ratio = stats.l2_misses / baseline.stats.l2_misses
+        print(f"ratio                : {ratio:.2f}  (< 1 means migration wins)")
+    print(f"migrations           : {stats.migrations:,}")
+    if stats.migrations:
+        print(f"instr / migration    : {stats.instructions // stats.migrations:,}")
+    pmig_max = break_even_pmig(
+        stats.instructions,
+        baseline.stats.l2_misses,
+        stats.l2_misses,
+        stats.migrations,
+    )
+    model = MigrationPenaltyModel()
+    print(f"break-even P_mig     : {pmig_max:.1f} L2 misses per migration")
+    print(
+        f"modelled P_mig       : {model.relative_penalty():.2f} "
+        f"({model.migration_cycles():.0f} cycles vs a "
+        f"{model.l2_miss_penalty_cycles}-cycle L2 miss)"
+    )
+    if pmig_max > model.relative_penalty():
+        print("=> execution migration wins on this workload")
+    else:
+        print("=> execution migration does not pay off on this workload")
+    bus = chip.update_bus_bytes()
+    print(
+        f"update bus           : peak {bus['peak_bytes_per_cycle']:.0f} B/cycle "
+        f"(section 2.3 estimate); store broadcast {bus['store_bytes']:,.0f} B; "
+        f"L1 mirror fills {bus['l1_fill_bytes']:,.0f} B"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Compare the online affinity algorithm with offline partitioners.
+
+Section 3.1 frames working-set splitting as NP-hard graph
+bipartitioning.  This example builds the transition graph of a
+reference stream and compares four splitters on cut quality:
+
+* random balanced split (the floor: cut = 1/2 on anything),
+* address-halving (layout luck),
+* offline Kernighan-Lin (the classic heuristic, sees the whole trace),
+* the online affinity algorithm (hardware-implementable, one pass).
+
+Run:  python examples/offline_vs_online.py
+"""
+
+from repro.core import ControllerConfig, MigrationController
+from repro.partition import (
+    build_transition_graph,
+    evaluate_partition,
+    kernighan_lin_bipartition,
+    random_split,
+    address_halving_split,
+    replay_transition_frequency,
+)
+from repro.traces import HalfRandom, UniformRandom
+
+
+def compare(behavior, references=120_000):
+    stream = list(behavior.addresses(references))
+    graph = build_transition_graph(stream)
+    print(f"\n=== {behavior.name}: {graph.num_nodes} lines, "
+          f"{graph.total_weight:,} transitions ===")
+
+    rows = []
+    for label, split in (
+        ("random", random_split(graph.nodes, seed=0)),
+        ("addr-half", address_halving_split(graph.nodes)),
+        ("kernighan-lin", kernighan_lin_bipartition(graph, seed=0)),
+    ):
+        quality = evaluate_partition(graph, *split)
+        rows.append((label, quality.cut_fraction, quality.balance))
+
+    # The online algorithm: train a 2-way controller, then freeze its
+    # assignment and measure the cut it implies.
+    controller = MigrationController(
+        ControllerConfig(num_subsets=2, x_window_size=64, filter_bits=16)
+    )
+    for line in stream:
+        controller.observe(line)
+    frozen = {
+        line: 0 if (controller.affinity_of(line) or 0) >= 0 else 1
+        for line in graph.nodes
+    }
+    cut = replay_transition_frequency(stream, frozen.__getitem__)
+    balance = sum(1 for s in frozen.values() if s == 0) / max(1, len(frozen))
+    rows.append(("affinity (online)", cut, max(balance, 1 - balance)))
+
+    print(f"  {'method':<18} {'cut fraction':>12} {'balance':>9}")
+    for label, cut_fraction, balance in rows:
+        print(f"  {label:<18} {cut_fraction:>12.4f} {balance:>9.3f}")
+
+
+def main():
+    # Splittable: the affinity algorithm should approach KL.
+    compare(HalfRandom(num_lines=800, burst=150, seed=3))
+    # Unsplittable: everyone cuts about one half.
+    compare(UniformRandom(num_lines=800, seed=3))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: enables ``python setup.py develop`` in offline
+environments that lack the ``wheel`` package (PEP 660 editable installs
+need it; the legacy egg-link path does not).  Configuration lives in
+``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

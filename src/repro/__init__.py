@@ -1,0 +1,45 @@
+"""Reproduction of "Exploiting the Cache Capacity of a Single-Chip Multi-Core
+Processor with Execution Migration" (Pierre Michaud, HPCA 2004).
+
+The package is organised as a set of substrates plus the paper's core
+contribution:
+
+``repro.common``
+    Saturating fixed-width integers, Fenwick trees, deterministic RNG
+    helpers and text-table rendering.
+``repro.traces``
+    Instruction-indexed memory reference streams: synthetic behaviours
+    (Circular, HalfRandom, ...), calibrated SPEC CPU2000-like models, and
+    L1-cache filters.
+``repro.olden``
+    Re-implementations of five Olden benchmarks executed over a traced
+    heap allocator, producing genuine linked-data-structure traces.
+``repro.caches``
+    LRU stack-distance profiling (Mattson), fully-, set- and
+    skewed-associative caches, and a single-core cache hierarchy.
+``repro.core``
+    The affinity algorithm, R-window, affinity cache, transition filter,
+    working-set sampling, 4-way splitting, and the migration controller.
+``repro.multicore``
+    The multi-core chip model with migration-mode coherence, the update
+    bus, and the migration engine.
+``repro.partition``
+    Offline graph-partitioning baselines (Kernighan-Lin, static splits).
+``repro.analysis``
+    Stack-profile experiments, splittability metrics, parameter sweeps.
+``repro.experiments``
+    One driver per table/figure of the paper plus the workload registry.
+
+Quickstart::
+
+    from repro.core import MigrationController, ControllerConfig
+    from repro.traces import Circular
+
+    controller = MigrationController(ControllerConfig())
+    for address in Circular(num_lines=4000).addresses(100_000):
+        subset = controller.access(address)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

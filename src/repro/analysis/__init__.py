@@ -1,0 +1,46 @@
+"""Experiment-level analysis built on the substrates.
+
+* :mod:`repro.analysis.stack_profiles` -- the section 4.1 methodology:
+  single-stack profile ``p1`` vs 4-way-split profile ``p4`` plus the
+  transition frequency, in one pass over an L1-filtered stream.
+* :mod:`repro.analysis.splittability` -- quantifying the gap between
+  ``p1`` and ``p4`` ("splittability" as the paper uses the word).
+* :mod:`repro.analysis.sweeps` -- parameter sweeps for the paper's
+  design discussions: R-window size (section 3.3), transition-filter
+  width (section 3.4), sampling ratio (section 3.5).
+"""
+
+from repro.analysis.pointer_filtering import (
+    PointerFilteringResult,
+    run_pointer_filtering,
+)
+from repro.analysis.stack_profiles import StackExperimentResult, run_stack_experiment
+from repro.analysis.splittability import (
+    SplittabilityReport,
+    profile_gap,
+    splittability_report,
+)
+from repro.analysis.sweeps import (
+    FilterSweepPoint,
+    RWindowSweepPoint,
+    SamplingSweepPoint,
+    filter_width_sweep,
+    rwindow_sweep,
+    sampling_sweep,
+)
+
+__all__ = [
+    "FilterSweepPoint",
+    "PointerFilteringResult",
+    "RWindowSweepPoint",
+    "SamplingSweepPoint",
+    "SplittabilityReport",
+    "StackExperimentResult",
+    "filter_width_sweep",
+    "profile_gap",
+    "run_pointer_filtering",
+    "run_stack_experiment",
+    "rwindow_sweep",
+    "sampling_sweep",
+    "splittability_report",
+]

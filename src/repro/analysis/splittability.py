@@ -1,0 +1,62 @@
+"""Quantifying "splittability".
+
+The paper uses the word informally: a working set is splittable when a
+balanced partition exists whose transition frequency is small (say,
+below one transition every 10 references), and Figures 4-5 diagnose it
+visually — ``p4`` dropping below ``p1``.  This module turns that
+diagnosis into numbers so tests and reports can assert on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.stack_profiles import (
+    PAPER_CACHE_SIZES_LINES,
+    StackExperimentResult,
+)
+
+
+def profile_gap(
+    result: StackExperimentResult,
+    sizes_lines: "Sequence[int]" = PAPER_CACHE_SIZES_LINES,
+) -> float:
+    """``max_x (p1(x) - p4(x))``: the largest miss-ratio reduction the
+    4-way split achieves at any cache size.  ~0 on unsplittable sets."""
+    p1_curve, p4_curve = result.curves(sizes_lines)
+    return max(a - b for a, b in zip(p1_curve, p4_curve))
+
+
+@dataclass(frozen=True)
+class SplittabilityReport:
+    """One workload's splittability verdict."""
+
+    name: str
+    gap: float  #: max miss-ratio reduction across cache sizes
+    transition_frequency: float
+    splittable: bool
+
+    #: Thresholds: the paper calls 1/10 transitions the outer limit of
+    #: splittability and its clearly-splittable benchmarks show profile
+    #: gaps of tens of percentage points.
+    GAP_THRESHOLD = 0.05
+    TRANSITION_THRESHOLD = 0.1
+
+
+def splittability_report(
+    result: StackExperimentResult,
+    sizes_lines: "Sequence[int]" = PAPER_CACHE_SIZES_LINES,
+) -> SplittabilityReport:
+    """Classify a stack-experiment result."""
+    gap = profile_gap(result, sizes_lines)
+    frequency = result.transition_frequency
+    return SplittabilityReport(
+        name=result.name,
+        gap=gap,
+        transition_frequency=frequency,
+        splittable=(
+            gap >= SplittabilityReport.GAP_THRESHOLD
+            and frequency <= SplittabilityReport.TRANSITION_THRESHOLD
+        ),
+    )

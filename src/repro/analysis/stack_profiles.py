@@ -1,0 +1,86 @@
+"""The LRU-stack-profile experiment of paper section 4.1.
+
+Two simulations share one pass over the L1-miss stream:
+
+* ``p1``: every reference goes to a single LRU stack — the miss-ratio
+  curve of one fully-associative cache ("normal" in Figures 4-5);
+* ``p4``: each reference goes to one of four LRU stacks, chosen by the
+  4-way migration controller *before* the controller state is updated
+  ("split" in Figures 4-5), and the four depth histograms are merged
+  into one global profile.
+
+If ``p4(x)`` falls below ``p1(x)``, four caches of size ``x`` under the
+affinity algorithm hold more of the working set than one cache of size
+``x`` — the working set is "splittable".  The controller's transition
+frequency bounds how often such a 4-cache system would migrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.caches.lru_stack import LruStack, StackProfile
+from repro.core.controller import ControllerConfig, ControllerStats, MigrationController
+
+#: Figure 4/5 x-axis, in lines (64-byte lines): 16 KB ... 16 MB
+PAPER_CACHE_SIZES_LINES = (256, 1024, 4096, 16384, 65536, 262144)
+PAPER_CACHE_SIZE_LABELS = ("16k", "64k", "256k", "1M", "4M", "16M")
+
+
+@dataclass
+class StackExperimentResult:
+    """Profiles + controller statistics for one workload."""
+
+    name: str
+    p1: StackProfile
+    p4: StackProfile
+    per_stack: "list[StackProfile]"
+    controller_stats: ControllerStats
+    references: int
+
+    @property
+    def transition_frequency(self) -> float:
+        return self.controller_stats.transition_frequency
+
+    def curves(
+        self, sizes_lines: "Sequence[int]" = PAPER_CACHE_SIZES_LINES
+    ) -> "tuple[list[float], list[float]]":
+        """``(p1(x), p4(x))`` sampled at the paper's cache sizes."""
+        return (
+            self.p1.miss_ratio_curve(sizes_lines),
+            self.p4.miss_ratio_curve(sizes_lines),
+        )
+
+
+def run_stack_experiment(
+    references: "Iterable[int]",
+    name: str = "workload",
+    config: "ControllerConfig | None" = None,
+) -> StackExperimentResult:
+    """Run the section 4.1 experiment over a stream of line addresses.
+
+    ``config`` defaults to the paper's: 4-way controller, 20-bit
+    filters, |R_X| = 128, |R_Y| = 64, unlimited affinity cache, no
+    sampling, no L2 filtering.
+    """
+    config = config or ControllerConfig.stack_experiment()
+    controller = MigrationController(config)
+    single = LruStack()
+    split = [LruStack() for _ in range(config.num_subsets)]
+    p1 = StackProfile()
+    per_stack = [StackProfile() for _ in range(config.num_subsets)]
+    count = 0
+    for line in references:
+        count += 1
+        p1.record(single.access(line))
+        subset = controller.observe(line)
+        per_stack[subset].record(split[subset].access(line))
+    return StackExperimentResult(
+        name=name,
+        p1=p1,
+        p4=StackProfile.merge_all(per_stack),
+        per_stack=per_stack,
+        controller_stats=controller.stats,
+        references=count,
+    )

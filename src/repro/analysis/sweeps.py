@@ -1,0 +1,218 @@
+"""Parameter sweeps for the paper's design discussions.
+
+Three tunables interact with the migration penalty (sections 3.3-3.5
+and the conclusion):
+
+* **R-window size** — Circular(N) splits iff ``N > 2|R|``; after
+  convergence the transition frequency stays under ``1/(2|R|)``;
+  HalfRandom(m) needs ``|R|`` not much larger than ``m``.
+* **Transition-filter width** — each extra bit halves the transition
+  frequency on unsplittable sets but doubles the reaction delay on
+  splittable ones.
+* **Sampling ratio** — fewer sampled lines mean a smaller affinity
+  cache and fewer filter updates (so the filter can lose bits), at the
+  cost of slower adaptation.
+
+Each sweep returns small result records the ablation benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core.controller import ControllerConfig, MigrationController
+from repro.core.sampling import SamplingPolicy
+
+
+def _run_controller(
+    config: ControllerConfig,
+    references: "Iterable[int]",
+    tail_fraction: float = 0.25,
+) -> "tuple[float, float, int]":
+    """Run a controller; return (overall freq, tail freq, transitions).
+
+    The tail frequency is measured over the last ``tail_fraction`` of
+    the stream, i.e. after convergence.
+    """
+    controller = MigrationController(config)
+    references = list(references)
+    tail_start = int(len(references) * (1.0 - tail_fraction))
+    transitions_at_tail = 0
+    for i, line in enumerate(references):
+        if i == tail_start:
+            transitions_at_tail = controller.stats.transitions
+        controller.observe(line)
+    stats = controller.stats
+    tail_references = max(1, len(references) - tail_start)
+    tail_frequency = (stats.transitions - transitions_at_tail) / tail_references
+    return stats.transition_frequency, tail_frequency, stats.transitions
+
+
+@dataclass(frozen=True)
+class RWindowSweepPoint:
+    window_size: int
+    working_set: int
+    overall_frequency: float
+    tail_frequency: float
+    balance: float  #: fraction of elements with positive affinity
+    instability: float  #: fraction of elements whose sign changed
+    #: between two snapshots one working-set lap apart
+
+    @property
+    def split_achieved(self) -> bool:
+        """A real split needs three things at once:
+
+        * **balance** — an unsplit set has one sign everywhere;
+        * **converged transitions** — below the paper's 1/(2|R|) bound;
+        * **stability** — at ``N = 2|R|`` the window covers half the
+          set and the "split" is a wave rotating with the window: any
+          snapshot looks balanced, transitions can even be zero, but
+          per-element assignments churn every lap.  Comparing two
+          snapshots a lap apart exposes it.
+        """
+        balanced = 0.2 <= self.balance <= 0.8
+        converged = self.tail_frequency <= 1.5 / (2 * self.window_size)
+        stable = self.instability < 0.1
+        return balanced and converged and stable
+
+
+def rwindow_sweep(
+    behavior_factory: "Callable[[], object]",
+    window_sizes: "Sequence[int]",
+    num_references: int = 400_000,
+    filter_bits: int = 16,
+) -> "list[RWindowSweepPoint]":
+    """Sweep |R| for a 2-way controller over one behaviour."""
+    points = []
+    for window in window_sizes:
+        behavior = behavior_factory()
+        config = ControllerConfig(
+            num_subsets=2, x_window_size=window, filter_bits=filter_bits
+        )
+        controller = MigrationController(config)
+        references = list(behavior.addresses(num_references))
+        tail_start = int(len(references) * 0.75)
+        # Half a working-set lap apart: a genuinely split assignment is
+        # unchanged at any offset, while the rotating-wave state at
+        # N <= 2|R| is caught mid-rotation (a full lap would alias).
+        snapshot_at = max(0, len(references) - behavior.num_lines // 2 - 1)
+        transitions_at_tail = 0
+        earlier_signs: "dict[int, bool]" = {}
+        for i, line in enumerate(references):
+            if i == tail_start:
+                transitions_at_tail = controller.stats.transitions
+            if i == snapshot_at:
+                earlier_signs = {
+                    e: (controller.affinity_of(e) or 0) >= 0
+                    for e in range(behavior.num_lines)
+                }
+            controller.observe(line)
+        stats = controller.stats
+        tail = (stats.transitions - transitions_at_tail) / max(
+            1, len(references) - tail_start
+        )
+        final_signs = {
+            e: (controller.affinity_of(e) or 0) >= 0
+            for e in range(behavior.num_lines)
+        }
+        positive = sum(final_signs.values())
+        changed = sum(
+            1
+            for e, sign in final_signs.items()
+            if earlier_signs and sign != earlier_signs[e]
+        )
+        points.append(
+            RWindowSweepPoint(
+                window_size=window,
+                working_set=behavior.num_lines,
+                overall_frequency=stats.transition_frequency,
+                tail_frequency=tail,
+                balance=positive / behavior.num_lines,
+                instability=changed / behavior.num_lines,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class FilterSweepPoint:
+    filter_bits: int
+    tail_frequency: float
+
+
+def filter_width_sweep(
+    behavior_factory: "Callable[[], object]",
+    filter_bits_list: "Sequence[int]",
+    num_references: int = 400_000,
+    window_size: int = 100,
+) -> "list[FilterSweepPoint]":
+    """Sweep the transition-filter width for one behaviour.
+
+    On an unsplittable (random) behaviour the tail frequency should
+    roughly halve per added bit (section 3.4).
+    """
+    points = []
+    for bits in filter_bits_list:
+        behavior = behavior_factory()
+        config = ControllerConfig(
+            num_subsets=2, x_window_size=window_size, filter_bits=bits
+        )
+        _overall, tail, _count = _run_controller(
+            config, behavior.addresses(num_references)
+        )
+        points.append(FilterSweepPoint(filter_bits=bits, tail_frequency=tail))
+    return points
+
+
+@dataclass(frozen=True)
+class SamplingSweepPoint:
+    sampled_residues: int  #: of the 31 hash residues
+    sample_fraction: float
+    overall_frequency: float
+    filter_updates: int
+
+
+def sampling_sweep(
+    behavior_factory: "Callable[[], object]",
+    residue_counts: "Sequence[int]",
+    num_references: int = 400_000,
+    config_base: "ControllerConfig | None" = None,
+) -> "list[SamplingSweepPoint]":
+    """Sweep the working-set sampling ratio (31 = unsampled)."""
+    points = []
+    for count in residue_counts:
+        if not 1 <= count <= 31:
+            raise ValueError(f"residue count {count} outside [1, 31]")
+        sampling = (
+            SamplingPolicy.full()
+            if count == 31
+            else SamplingPolicy(modulus=31, sampled_residues=frozenset(range(count)))
+        )
+        base = config_base or ControllerConfig(num_subsets=2, filter_bits=18)
+        config = ControllerConfig(
+            num_subsets=base.num_subsets,
+            affinity_bits=base.affinity_bits,
+            filter_bits=base.filter_bits,
+            x_window_size=base.x_window_size,
+            y_window_size=base.y_window_size,
+            sampling=sampling,
+            affinity_cache_entries=base.affinity_cache_entries,
+            affinity_cache_ways=base.affinity_cache_ways,
+            l2_filtering=base.l2_filtering,
+            lru_window=base.lru_window,
+        )
+        controller = MigrationController(config)
+        behavior = behavior_factory()
+        for line in behavior.addresses(num_references):
+            controller.observe(line)
+        stats = controller.stats
+        points.append(
+            SamplingSweepPoint(
+                sampled_residues=count,
+                sample_fraction=sampling.sample_fraction,
+                overall_frequency=stats.transition_frequency,
+                filter_updates=stats.filter_updates,
+            )
+        )
+    return points

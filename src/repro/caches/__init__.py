@@ -1,0 +1,44 @@
+"""Cache substrate.
+
+Everything the paper's evaluation rests on:
+
+* :mod:`repro.caches.base` -- cache statistics and the common interface,
+* :mod:`repro.caches.fully_assoc` -- fully-associative LRU caches
+  (the 16-KB L1 filters of section 4.1),
+* :mod:`repro.caches.set_assoc` -- set-associative LRU caches
+  (the 16-KB 4-way L1s of section 4.2),
+* :mod:`repro.caches.skewed` -- skewed-associative caches [Bodin &
+  Seznec] (the 512-KB 4-way skewed L2s and the affinity cache),
+* :mod:`repro.caches.lru_stack` -- Mattson stack-distance profiling
+  (the LRU stack profiles of Figures 4-5),
+* :mod:`repro.caches.hierarchy` -- a single-core IL1/DL1/L2 hierarchy
+  (the "normal", migration-disabled baseline of Table 2).
+"""
+
+from repro.caches.base import CacheStats, EvictedLine
+from repro.caches.fully_assoc import FullyAssociativeCache
+from repro.caches.set_assoc import SetAssociativeCache
+from repro.caches.skewed import SkewedAssociativeCache, skew_hash
+from repro.caches.lru_stack import LruStack, StackProfile
+from repro.caches.hierarchy import CoreCacheConfig, SingleCoreHierarchy
+from repro.caches.prefetch import (
+    NextLinePrefetcher,
+    PrefetchStats,
+    StridePrefetcher,
+)
+
+__all__ = [
+    "CacheStats",
+    "CoreCacheConfig",
+    "EvictedLine",
+    "FullyAssociativeCache",
+    "LruStack",
+    "NextLinePrefetcher",
+    "PrefetchStats",
+    "SetAssociativeCache",
+    "SingleCoreHierarchy",
+    "SkewedAssociativeCache",
+    "StackProfile",
+    "StridePrefetcher",
+    "skew_hash",
+]

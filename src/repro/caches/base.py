@@ -1,0 +1,60 @@
+"""Common cache interfaces and statistics.
+
+All caches in this package operate on *line addresses* (byte address
+divided by line size); the caller performs the division.  A cache access
+returns ``True`` on hit and ``False`` on miss, allocates on miss, and
+reports evictions through :attr:`last_eviction` so that write-back
+traffic can be modelled without allocating per-access result objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+
+class EvictedLine(NamedTuple):
+    """A line pushed out of a cache, and whether it was dirty."""
+
+    line: int
+    dirty: bool
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per access (0.0 when the cache was never accessed)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Return element-wise sum of two stats records."""
+        return CacheStats(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            writebacks=self.writebacks + other.writebacks,
+        )
+
+
+def check_power_of_two(value: int, what: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is a positive power of two."""
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{what} must be a positive power of two, got {value}")

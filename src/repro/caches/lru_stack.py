@@ -1,0 +1,174 @@
+"""Mattson LRU stack-distance profiling [Mattson et al. 1970].
+
+Section 4.1 of the paper builds *LRU stack profiles*: for each reference
+it records the LRU stack depth (a first-touch reference has infinite
+depth), then reports ``p(x)`` — the fraction of references whose depth
+exceeds ``x`` lines, i.e. the miss ratio of a fully-associative LRU
+cache of ``x`` lines.
+
+:class:`LruStack` computes exact stack depths in O(log T) per reference
+using the classic time-stamp formulation: the depth of a reference to
+line ``e`` at time ``t`` is one plus the number of *distinct* lines
+referenced since ``e``'s previous access, which is a range-count over a
+0/1 Fenwick tree in which exactly the most recent access time of every
+live line is set.
+
+:class:`StackProfile` accumulates a depth histogram and answers
+``fraction_deeper`` queries; profiles are mergeable so the four split
+stacks of Figures 4-5 can be reported as one global profile ``p4``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.common.fenwick import FenwickTree
+
+
+class LruStack:
+    """Exact LRU stack-depth computation over an unbounded line stream."""
+
+    __slots__ = ("_last_time", "_fenwick", "_time", "_capacity")
+
+    def __init__(self, initial_capacity: int = 1 << 16) -> None:
+        if initial_capacity <= 0:
+            raise ValueError("initial_capacity must be positive")
+        self._last_time: "dict[int, int]" = {}
+        self._capacity = initial_capacity
+        self._fenwick = FenwickTree(initial_capacity)
+        self._time = 0
+
+    @property
+    def distinct_lines(self) -> int:
+        return len(self._last_time)
+
+    @property
+    def references(self) -> int:
+        return self._time
+
+    def access(self, line: int) -> Optional[int]:
+        """Record a reference to ``line``; return its stack depth.
+
+        The depth is 1-based (a re-reference to the most recently used
+        line has depth 1; a fully-associative LRU cache of ``c`` lines
+        hits iff ``depth <= c``).  First-touch references return
+        ``None`` (infinite depth).
+        """
+        if self._time >= self._capacity:
+            self._grow()
+        t = self._time
+        self._time = t + 1
+        previous = self._last_time.get(line)
+        self._fenwick.add(t, 1)
+        self._last_time[line] = t
+        if previous is None:
+            return None
+        # Distinct lines referenced strictly after `previous`, before `t`,
+        # plus the line itself.
+        depth = self._fenwick.range_sum(previous + 1, t - 1) + 1
+        self._fenwick.add(previous, -1)
+        return depth
+
+    def _grow(self) -> None:
+        """Compact the time axis: renumber live lines' last-access times.
+
+        Stack depths only depend on the *order* of last-access times, so
+        renumbering them to 0..L-1 preserves every future query while
+        keeping the Fenwick tree proportional to the number of live
+        lines rather than to the trace length.
+        """
+        ordered = sorted(self._last_time.items(), key=lambda item: item[1])
+        live = len(ordered)
+        self._capacity = max(self._capacity, 4 * live, 1 << 10)
+        fresh = FenwickTree(self._capacity)
+        for new_time, (line, _old_time) in enumerate(ordered):
+            self._last_time[line] = new_time
+            fresh.add(new_time, 1)
+        self._fenwick = fresh
+        self._time = live
+
+    def depth_of(self, line: int) -> Optional[int]:
+        """Current stack depth of ``line`` without recording a reference."""
+        previous = self._last_time.get(line)
+        if previous is None:
+            return None
+        if self._time == 0:
+            return None
+        return self._fenwick.range_sum(previous + 1, self._time - 1) + 1
+
+
+class StackProfile:
+    """Histogram of stack depths with cold (infinite-depth) references."""
+
+    def __init__(self) -> None:
+        self._histogram: Counter = Counter()
+        self.cold = 0
+        self.total = 0
+        self._sorted_depths: "np.ndarray | None" = None
+        self._cumulative: "np.ndarray | None" = None
+
+    def record(self, depth: Optional[int]) -> None:
+        """Record one reference (``None`` = first touch)."""
+        self.total += 1
+        if depth is None:
+            self.cold += 1
+        else:
+            if depth <= 0:
+                raise ValueError(f"stack depths are 1-based, got {depth}")
+            self._histogram[depth] += 1
+        self._sorted_depths = None
+
+    def record_stream(self, depths: Iterable[Optional[int]]) -> None:
+        for depth in depths:
+            self.record(depth)
+
+    def _ensure_index(self) -> None:
+        if self._sorted_depths is None:
+            depths = np.array(sorted(self._histogram), dtype=np.int64)
+            counts = np.array(
+                [self._histogram[int(d)] for d in depths], dtype=np.int64
+            )
+            self._sorted_depths = depths
+            self._cumulative = np.cumsum(counts)
+
+    def references_not_deeper(self, lines: int) -> int:
+        """Number of references with depth <= ``lines`` (finite only)."""
+        self._ensure_index()
+        assert self._sorted_depths is not None and self._cumulative is not None
+        position = int(np.searchsorted(self._sorted_depths, lines, side="right"))
+        if position == 0:
+            return 0
+        return int(self._cumulative[position - 1])
+
+    def fraction_deeper(self, lines: int) -> float:
+        """``p(x)``: fraction of references with stack depth > ``lines``.
+
+        First-touch references count as deeper than any finite size,
+        exactly as in the paper ("a reference which is encountered for
+        the first time has an infinite LRU stack depth").
+        """
+        if self.total == 0:
+            return 0.0
+        return 1.0 - self.references_not_deeper(lines) / self.total
+
+    def miss_ratio_curve(self, capacities: Iterable[int]) -> "list[float]":
+        """``p(x)`` sampled at each capacity (in lines)."""
+        return [self.fraction_deeper(int(c)) for c in capacities]
+
+    def merge(self, other: "StackProfile") -> "StackProfile":
+        """Pointwise sum of two profiles (for the global ``p4``)."""
+        merged = StackProfile()
+        merged._histogram = self._histogram + other._histogram
+        merged.cold = self.cold + other.cold
+        merged.total = self.total + other.total
+        return merged
+
+    @staticmethod
+    def merge_all(profiles: "Iterable[StackProfile]") -> "StackProfile":
+        result = StackProfile()
+        for profile in profiles:
+            result = result.merge(profile)
+        return result

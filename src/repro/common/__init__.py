@@ -1,0 +1,32 @@
+"""Shared low-level utilities used by every substrate.
+
+Exports the saturating fixed-width integer arithmetic the hardware model
+relies on (:mod:`repro.common.saturating`), a Fenwick tree used by the
+Mattson stack-distance profiler (:mod:`repro.common.fenwick`),
+deterministic RNG construction helpers (:mod:`repro.common.rng`) and a
+small text-table renderer used by the experiment reports
+(:mod:`repro.common.tables`).
+"""
+
+from repro.common.fenwick import FenwickTree
+from repro.common.rng import make_rng, split_rng
+from repro.common.saturating import (
+    SaturatingCounter,
+    SaturatingInt,
+    saturate,
+    sign,
+)
+from repro.common.tables import TextTable, format_count, format_per_event
+
+__all__ = [
+    "FenwickTree",
+    "SaturatingCounter",
+    "SaturatingInt",
+    "TextTable",
+    "format_count",
+    "format_per_event",
+    "make_rng",
+    "saturate",
+    "sign",
+    "split_rng",
+]

@@ -1,0 +1,65 @@
+"""Fenwick (binary indexed) tree over a fixed-size integer array.
+
+Used by the Mattson stack-distance profiler
+(:mod:`repro.caches.lru_stack`): stack distances are computed as "number
+of *distinct* lines referenced since the previous reference to this
+line", which reduces to a prefix-sum query over a 0/1 array indexed by
+reference time.  A Fenwick tree gives O(log n) update and query.
+"""
+
+from __future__ import annotations
+
+
+class FenwickTree:
+    """Prefix-sum tree over ``size`` integer-valued slots (all zero initially).
+
+    Indices are 0-based externally and converted to the classic 1-based
+    layout internally.
+    """
+
+    __slots__ = ("_size", "_tree")
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        self._size = size
+        self._tree = [0] * (size + 1)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def add(self, index: int, amount: int = 1) -> None:
+        """Add ``amount`` to slot ``index``."""
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range [0, {self._size})")
+        i = index + 1
+        tree = self._tree
+        while i <= self._size:
+            tree[i] += amount
+            i += i & (-i)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of slots ``[0, index]``; ``index = -1`` yields 0."""
+        if index >= self._size:
+            raise IndexError(f"index {index} out of range (size {self._size})")
+        i = index + 1
+        total = 0
+        tree = self._tree
+        while i > 0:
+            total += tree[i]
+            i -= i & (-i)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of slots ``[lo, hi]`` inclusive (empty if ``lo > hi``)."""
+        if lo > hi:
+            return 0
+        left = self.prefix_sum(lo - 1) if lo > 0 else 0
+        return self.prefix_sum(hi) - left
+
+    def total(self) -> int:
+        """Sum of every slot."""
+        if self._size == 0:
+            return 0
+        return self.prefix_sum(self._size - 1)

@@ -1,0 +1,152 @@
+"""Saturating fixed-width signed integer arithmetic.
+
+The affinity algorithm (paper section 3.2, "Limited number of affinity
+bits") stores affinities in 16-bit registers and therefore "works with
+saturating addition".  The transition filter (section 3.4) is an
+"up-down saturating counter".  This module provides the two primitives
+both mechanisms are built from:
+
+* :func:`saturate` / :class:`SaturatingInt` -- a signed value clamped to
+  the representable range of a given bit width,
+* :class:`SaturatingCounter` -- a mutable saturating accumulator with the
+  ``sign`` convention of the paper (``sign(0) == +1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def sign(x: int) -> int:
+    """The paper's sign function: ``+1`` if ``x >= 0`` else ``-1``.
+
+    Note that, unlike the mathematical signum, ``sign(0)`` is ``+1``
+    (paper section 3.2, definition of the affinity algorithm).
+    """
+    return 1 if x >= 0 else -1
+
+
+def saturating_bounds(bits: int) -> tuple[int, int]:
+    """Return ``(minimum, maximum)`` for a signed ``bits``-wide integer."""
+    if bits < 2:
+        raise ValueError(f"need at least 2 bits for a signed value, got {bits}")
+    top = 1 << (bits - 1)
+    return -top, top - 1
+
+
+def saturate(x: int, bits: int) -> int:
+    """Clamp ``x`` to the signed ``bits``-wide representable range."""
+    lo, hi = saturating_bounds(bits)
+    if x < lo:
+        return lo
+    if x > hi:
+        return hi
+    return x
+
+
+@dataclass(frozen=True)
+class SaturatingInt:
+    """An immutable signed integer with saturating addition.
+
+    Instances behave like small hardware registers: adding past the
+    representable range sticks at the extreme instead of wrapping.
+
+    >>> a = SaturatingInt(32767, bits=16)
+    >>> (a + 10).value
+    32767
+    """
+
+    value: int
+    bits: int = 16
+
+    def __post_init__(self) -> None:
+        lo, hi = saturating_bounds(self.bits)
+        if not lo <= self.value <= hi:
+            raise ValueError(
+                f"value {self.value} outside signed {self.bits}-bit range "
+                f"[{lo}, {hi}]"
+            )
+
+    @property
+    def minimum(self) -> int:
+        return saturating_bounds(self.bits)[0]
+
+    @property
+    def maximum(self) -> int:
+        return saturating_bounds(self.bits)[1]
+
+    def __add__(self, other: "int | SaturatingInt") -> "SaturatingInt":
+        amount = other.value if isinstance(other, SaturatingInt) else other
+        return SaturatingInt(saturate(self.value + amount, self.bits), self.bits)
+
+    def __sub__(self, other: "int | SaturatingInt") -> "SaturatingInt":
+        amount = other.value if isinstance(other, SaturatingInt) else other
+        return SaturatingInt(saturate(self.value - amount, self.bits), self.bits)
+
+    def __neg__(self) -> "SaturatingInt":
+        return SaturatingInt(saturate(-self.value, self.bits), self.bits)
+
+    def __int__(self) -> int:
+        return self.value
+
+    @property
+    def sign(self) -> int:
+        """Sign under the paper's convention (``sign(0) == +1``)."""
+        return sign(self.value)
+
+
+class SaturatingCounter:
+    """A mutable up/down saturating counter of a given bit width.
+
+    This is the hardware structure behind the transition filter
+    (paper section 3.4): additions clamp at the extremes, and the
+    consumer only ever observes :attr:`sign_value`.
+    """
+
+    __slots__ = ("_bits", "_lo", "_hi", "_value")
+
+    def __init__(self, bits: int, initial: int = 0) -> None:
+        self._bits = bits
+        self._lo, self._hi = saturating_bounds(bits)
+        if not self._lo <= initial <= self._hi:
+            raise ValueError(f"initial value {initial} outside {bits}-bit range")
+        self._value = initial
+
+    @property
+    def bits(self) -> int:
+        return self._bits
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def minimum(self) -> int:
+        return self._lo
+
+    @property
+    def maximum(self) -> int:
+        return self._hi
+
+    @property
+    def sign_value(self) -> int:
+        """Sign under the paper's convention (``sign(0) == +1``)."""
+        return sign(self._value)
+
+    def add(self, amount: int) -> int:
+        """Saturating add; returns the new value."""
+        v = self._value + amount
+        if v < self._lo:
+            v = self._lo
+        elif v > self._hi:
+            v = self._hi
+        self._value = v
+        return v
+
+    def reset(self, value: int = 0) -> None:
+        if not self._lo <= value <= self._hi:
+            raise ValueError(f"value {value} outside {self._bits}-bit range")
+        self._value = value
+
+    def __repr__(self) -> str:
+        return f"SaturatingCounter(bits={self._bits}, value={self._value})"

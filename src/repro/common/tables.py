@@ -1,0 +1,84 @@
+"""Plain-text table rendering for experiment reports.
+
+The paper reports results as tables (Tables 1 and 2) and as per-event
+frequencies ("number of instructions per event, higher is better").
+:class:`TextTable` renders aligned monospace tables; the ``format_*``
+helpers reproduce the paper's number formats (e.g. ``2.2 x 10^6`` for
+migration counts).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def format_count(value: float) -> str:
+    """Format a large count the way Table 2 does, e.g. ``2.2e6``.
+
+    Values below 10^4 are printed exactly; larger values as mantissa and
+    power of ten with one decimal digit.
+    """
+    if value < 0:
+        raise ValueError(f"counts are non-negative, got {value}")
+    if value < 10_000:
+        return str(int(round(value)))
+    exponent = int(math.floor(math.log10(value)))
+    mantissa = value / 10**exponent
+    return f"{mantissa:.1f}e{exponent}"
+
+
+def format_per_event(instructions: int, events: int) -> str:
+    """Instructions-per-event cell: ``'-'`` when the event never occurred."""
+    if events <= 0:
+        return "-"
+    return format_count(instructions / events)
+
+
+class TextTable:
+    """An aligned monospace table with a header row.
+
+    >>> t = TextTable(["benchmark", "L2 miss"])
+    >>> t.add_row(["art", "11"])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    benchmark | L2 miss
+    ----------+--------
+    art       | 11
+    """
+
+    def __init__(self, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self._columns = [str(c) for c in columns]
+        self._rows: list[list[str]] = []
+
+    @property
+    def columns(self) -> "list[str]":
+        return list(self._columns)
+
+    @property
+    def rows(self) -> "list[list[str]]":
+        return [list(r) for r in self._rows]
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        row = [str(c) for c in cells]
+        if len(row) != len(self._columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self._columns)} columns"
+            )
+        self._rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self._columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(c.ljust(w) for c, w in zip(self._columns, widths))
+        rule = "-+-".join("-" * w for w in widths)
+        lines = [header.rstrip(), rule]
+        for row in self._rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,105 @@
+"""The affinity algorithm as mathematically defined (paper section 3.2).
+
+This module simulates Definition 1 *directly*: every element of the
+working set carries an unbounded-integer affinity ``A_e``; the window
+``R`` holds the ``n`` most recently referenced distinct elements; on
+every reference, **all** elements are updated::
+
+    A_e(t+1) = A_e(t) + sign(A_R(t))   if e in R
+    A_e(t+1) = A_e(t) - sign(A_R(t))   otherwise
+
+with ``sign(x) = +1 if x >= 0 else -1``.
+
+It is O(|S|) per reference and exists as the *executable specification*:
+the O(1)-per-reference hardware mechanism of Figure 2
+(:class:`repro.core.mechanism.SplitMechanism`) is property-tested for
+exact agreement with this class (with saturation widened away and the
+LRU window variant selected).
+
+Timing convention
+-----------------
+The paper's notation leaves one choice open: whether the element
+referenced at step ``t`` is already a member of ``R`` for the step-``t``
+update.  We resolve it the way the hardware of Figure 2 does — the
+referenced element enters the window *first*, then ``sign(A_R)`` is
+taken — which also matches the positive-feedback narrative of
+section 3.2 (synchronous elements must be *in* ``R`` together to be
+reinforced).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable
+
+from repro.common.saturating import sign
+
+
+class ReferenceAffinitySplitter:
+    """Direct simulation of the affinity algorithm (Definition 1).
+
+    ``window_size`` is ``|R|``.  Elements are arbitrary hashables
+    (cache-line addresses in practice).  Affinities are unbounded
+    Python integers — no saturation — and the window holds *distinct*
+    elements with LRU replacement, as in the paper's definition.
+    """
+
+    def __init__(self, window_size: int) -> None:
+        if window_size <= 0:
+            raise ValueError(f"window_size must be positive, got {window_size}")
+        self.window_size = window_size
+        self.affinity: "Dict[int, int]" = {}
+        self._window: "OrderedDict[int, None]" = OrderedDict()
+        self.references = 0
+
+    @property
+    def window(self) -> "list[int]":
+        """Window contents, least- to most-recently referenced."""
+        return list(self._window)
+
+    def window_affinity(self) -> int:
+        """``A_R``: the summed affinity of the window."""
+        return sum(self.affinity[e] for e in self._window)
+
+    def reference(self, element: int) -> int:
+        """Process one reference; return ``sign(A_R)`` used for the update."""
+        self.references += 1
+        affinity = self.affinity
+        if element not in affinity:
+            affinity[element] = 0  # A_e(t_e) = 0 on first reference
+        window = self._window
+        if element in window:
+            window.move_to_end(element)
+        else:
+            window[element] = None
+            if len(window) > self.window_size:
+                window.popitem(last=False)
+        step = sign(self.window_affinity())
+        for e in affinity:
+            if e in window:
+                affinity[e] += step
+            else:
+                affinity[e] -= step
+        return step
+
+    def run(self, elements: Iterable[int]) -> None:
+        """Process a whole reference stream."""
+        for element in elements:
+            self.reference(element)
+
+    def subset_of(self, element: int) -> int:
+        """Subset of ``element`` by affinity sign: 0 if ``A_e >= 0`` else 1."""
+        return 0 if sign(self.affinity.get(element, 0)) > 0 else 1
+
+    def split(self) -> "tuple[set, set]":
+        """Partition the seen working set by affinity sign."""
+        positive = {e for e, a in self.affinity.items() if a >= 0}
+        negative = {e for e, a in self.affinity.items() if a < 0}
+        return positive, negative
+
+    def balance(self) -> float:
+        """|positive| / |seen| — 0.5 is a perfectly balanced split."""
+        if not self.affinity:
+            return 0.5
+        positive, _ = self.split()
+        return len(positive) / len(self.affinity)

@@ -1,0 +1,136 @@
+"""K-way working-set splitting for K = 2^depth (paper sections 3.6, 6).
+
+Section 3.6 builds 4-way splitting from three 2-way mechanisms — a root
+``X`` and two children ``Y[+1]``, ``Y[-1]`` selected by ``sign(F_X)`` —
+routed by the parity of the sampling hash.  The conclusion adds: "we
+believe it is possible to adapt it to a larger number of cores".
+
+:class:`HierarchicalController` is that adaptation: a complete binary
+tree of 2-way mechanisms of depth ``d`` splits a working set into
+``2^d`` subsets.  Level ``l`` of the tree is selected by the hash
+residue modulo the number of levels (generalising the odd/even routing
+of section 3.6: each level trains on its own slice of the sampled
+lines), and within level ``l`` the active node is addressed by the
+signs of the filters along the current root path — exactly the
+``Y[sign(F_X)]`` construction, recursively.
+
+For ``depth = 1`` and ``depth = 2`` this reduces to structures
+equivalent to the paper's 2-way and 4-way controllers (the 4-way
+routing differs only in which residues feed which level); the paper's
+exact 4-way controller remains
+:class:`repro.core.controller.MigrationController`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.affinity_store import AffinityCache, UnboundedAffinityStore
+from repro.core.controller import ControllerStats
+from repro.core.mechanism import SplitMechanism
+from repro.core.sampling import SamplingPolicy
+from repro.core.transition_filter import TransitionFilter
+
+
+@dataclass(frozen=True)
+class HierarchicalConfig:
+    """Parameters of a 2^depth-way hierarchical splitter."""
+
+    depth: int = 3  #: 2^3 = 8 subsets
+    affinity_bits: int = 16
+    filter_bits: int = 20
+    root_window_size: int = 128
+    sampling: SamplingPolicy = field(default_factory=SamplingPolicy.full)
+    affinity_cache_entries: "int | None" = None
+    affinity_cache_ways: int = 4
+    l2_filtering: bool = False
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.depth <= 6:
+            raise ValueError(f"depth must be in [1, 6], got {self.depth}")
+
+    @property
+    def num_subsets(self) -> int:
+        return 1 << self.depth
+
+    def window_size_at(self, level: int) -> int:
+        """|R| halves per level, as |R_Y| = |R_X| / 2 does in §3.6."""
+        return max(8, self.root_window_size >> level)
+
+
+class HierarchicalController:
+    """Online 2^depth-way splitter built from a tree of mechanisms."""
+
+    def __init__(self, config: "HierarchicalConfig | None" = None) -> None:
+        self.config = config or HierarchicalConfig()
+        cfg = self.config
+        if cfg.affinity_cache_entries is None:
+            self.store = UnboundedAffinityStore()
+        else:
+            self.store = AffinityCache(
+                cfg.affinity_cache_entries, cfg.affinity_cache_ways
+            )
+        # Complete binary tree in heap layout: node 1 is the root; the
+        # children of node i are 2i and 2i+1 (2i for F >= 0).
+        self._mechanisms: "dict[int, SplitMechanism]" = {}
+        self._filters: "dict[int, TransitionFilter]" = {}
+        for level in range(cfg.depth):
+            for node in range(1 << level, 1 << (level + 1)):
+                self._mechanisms[node] = SplitMechanism(
+                    cfg.window_size_at(level),
+                    self.store,
+                    affinity_bits=cfg.affinity_bits,
+                )
+                self._filters[node] = TransitionFilter(cfg.filter_bits)
+        self.stats = ControllerStats()
+        self._previous_subset = self.current_subset()
+
+    @property
+    def num_subsets(self) -> int:
+        return self.config.num_subsets
+
+    def _active_path(self) -> "list[int]":
+        """Nodes along the root path selected by the filter signs."""
+        path = []
+        node = 1
+        for _level in range(self.config.depth):
+            path.append(node)
+            bit = 0 if self._filters[node].sign > 0 else 1
+            node = 2 * node + bit
+        return path
+
+    def current_subset(self) -> int:
+        """Subset = the leaf index addressed by the filter signs."""
+        node = 1
+        for _level in range(self.config.depth):
+            bit = 0 if self._filters[node].sign > 0 else 1
+            node = 2 * node + bit
+        return node - self.num_subsets
+
+    def _level_of(self, line: int) -> int:
+        """Which tree level a sampled line trains (hash-sliced, the
+        generalisation of §3.6's odd/even routing)."""
+        return (line % self.config.sampling.modulus) % self.config.depth
+
+    def observe(self, line: int, l2_miss: bool = True) -> int:
+        """Process one L1-miss request; returns the pre-update subset."""
+        stats = self.stats
+        stats.references += 1
+        subset_before = self._previous_subset
+        cfg = self.config
+        if cfg.sampling.is_sampled(line):
+            stats.sampled_references += 1
+            level = self._level_of(line)
+            node = self._active_path()[level]
+            affinity = self._mechanisms[node].process(line)
+            if l2_miss or not cfg.l2_filtering:
+                self._filters[node].update(affinity)
+                stats.filter_updates += 1
+        subset_after = self.current_subset()
+        if subset_after != subset_before:
+            stats.transitions += 1
+        self._previous_subset = subset_after
+        return subset_before
+
+    def mechanisms(self) -> "list[SplitMechanism]":
+        return [self._mechanisms[node] for node in sorted(self._mechanisms)]

@@ -1,0 +1,61 @@
+"""Per-table/figure experiment drivers.
+
+Each module regenerates one piece of the paper's evaluation:
+
+* :mod:`repro.experiments.workloads` -- the 18-benchmark registry
+  (13 SPEC models + 5 mini-Olden programs) with a global scale knob,
+* :mod:`repro.experiments.table1` -- benchmark inventory (Table 1),
+* :mod:`repro.experiments.figure3` -- affinity dynamics on Circular and
+  HalfRandom (Figure 3),
+* :mod:`repro.experiments.figures45` -- LRU stack profiles p1 vs p4
+  (Figures 4 and 5),
+* :mod:`repro.experiments.table2` -- the four-core 512-KB-L2 chip
+  (Table 2),
+* :mod:`repro.experiments.report` -- text rendering shared by the
+  drivers and the benchmark harness.
+
+``python -m repro.experiments.run_all`` regenerates everything and
+prints the full report.
+"""
+
+from repro.experiments.workloads import (
+    WORKLOAD_NAMES,
+    WorkloadSpec,
+    workload,
+    workload_names,
+)
+from repro.experiments.table1 import Table1Row, run_table1, render_table1
+from repro.experiments.figure3 import Figure3Snapshot, run_figure3, render_figure3
+from repro.experiments.figures45 import (
+    FigureProfileRow,
+    run_figures45,
+    render_figures45,
+)
+from repro.experiments.speedups import (
+    SpeedupRow,
+    project_speedups,
+    render_speedups,
+)
+from repro.experiments.table2 import Table2Row, run_table2, render_table2
+
+__all__ = [
+    "Figure3Snapshot",
+    "FigureProfileRow",
+    "SpeedupRow",
+    "Table1Row",
+    "Table2Row",
+    "WORKLOAD_NAMES",
+    "WorkloadSpec",
+    "project_speedups",
+    "render_speedups",
+    "render_figure3",
+    "render_figures45",
+    "render_table1",
+    "render_table2",
+    "run_figure3",
+    "run_figures45",
+    "run_table1",
+    "run_table2",
+    "workload",
+    "workload_names",
+]

@@ -1,0 +1,134 @@
+"""Figure 3: affinity dynamics on Circular and HalfRandom(300).
+
+The paper plots the per-element affinity ``A_e`` for ``e ∈ [0, 4000)``
+with ``|R| = 100`` after 20k, 100k and 1000k references, for the two
+behaviours of section 3.3, annotated with the transition frequency
+(1/2000 for Circular and 1/300 for HalfRandom at t = 100k).
+
+This driver runs a 2-way mechanism with an unbounded store (the
+Figure 3 setting has no filter, no sampling, no caches) and snapshots
+the affinity array at the same three instants, reporting per-snapshot
+summary statistics and the raw series for plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.affinity_store import UnboundedAffinityStore
+from repro.core.mechanism import SplitMechanism
+from repro.experiments.report import render_rows, section
+from repro.traces.synthetic import Circular, HalfRandom
+
+PAPER_SNAPSHOT_TIMES = (20_000, 100_000, 1_000_000)
+
+
+@dataclass(frozen=True)
+class Figure3Snapshot:
+    """Affinity state of one behaviour at one instant."""
+
+    behavior: str
+    time: int
+    affinities: "tuple[int, ...]"  #: A_e for e in [0, N)
+    transitions_so_far: int
+    tail_transition_frequency: float  #: over the last snapshot interval
+
+    @property
+    def positive_count(self) -> int:
+        return sum(1 for a in self.affinities if a >= 0)
+
+    @property
+    def balance(self) -> float:
+        """Fraction of elements with positive affinity (0.5 = balanced)."""
+        if not self.affinities:
+            return 0.5
+        return self.positive_count / len(self.affinities)
+
+    @property
+    def sign_runs(self) -> int:
+        """Number of contiguous same-sign runs over element index — the
+        visual "pieces" of the Figure 3 plots (2 = optimal split)."""
+        runs = 1
+        previous = self.affinities[0] >= 0
+        for value in self.affinities[1:]:
+            current = value >= 0
+            if current != previous:
+                runs += 1
+            previous = current
+        return runs
+
+
+def run_figure3(
+    num_elements: int = 4000,
+    window_size: int = 100,
+    snapshot_times: "Sequence[int]" = PAPER_SNAPSHOT_TIMES,
+    half_random_burst: int = 300,
+) -> "dict[str, list[Figure3Snapshot]]":
+    """Run both behaviours, snapshotting at the paper's instants."""
+    snapshot_times = sorted(snapshot_times)
+    behaviors = {
+        "Circular": Circular(num_elements),
+        f"HalfRandom({half_random_burst})": HalfRandom(
+            num_elements, half_random_burst
+        ),
+    }
+    results: "dict[str, list[Figure3Snapshot]]" = {}
+    for label, behavior in behaviors.items():
+        mechanism = SplitMechanism(window_size, UnboundedAffinityStore())
+        snapshots: "list[Figure3Snapshot]" = []
+        transitions = 0
+        previous_sign = None
+        last_time = 0
+        last_transitions = 0
+        stream = behavior.addresses(snapshot_times[-1])
+        next_snapshots = list(snapshot_times)
+        for t, element in enumerate(stream, start=1):
+            affinity = mechanism.process(element)
+            sign = affinity >= 0
+            if previous_sign is not None and sign != previous_sign:
+                transitions += 1
+            previous_sign = sign
+            if next_snapshots and t == next_snapshots[0]:
+                next_snapshots.pop(0)
+                interval = max(1, t - last_time)
+                snapshots.append(
+                    Figure3Snapshot(
+                        behavior=label,
+                        time=t,
+                        affinities=tuple(
+                            mechanism.affinity_of(e) or 0
+                            for e in range(num_elements)
+                        ),
+                        transitions_so_far=transitions,
+                        tail_transition_frequency=(
+                            (transitions - last_transitions) / interval
+                        ),
+                    )
+                )
+                last_time = t
+                last_transitions = transitions
+        results[label] = snapshots
+    return results
+
+
+def render_figure3(results: "dict[str, list[Figure3Snapshot]]") -> str:
+    """Summary table (the raw series are in the snapshots for plotting)."""
+    rows = []
+    for label, snapshots in results.items():
+        for snap in snapshots:
+            rows.append(
+                [
+                    label,
+                    f"{snap.time:,}",
+                    f"{snap.balance:.3f}",
+                    snap.sign_runs,
+                    f"{snap.tail_transition_frequency:.5f}",
+                ]
+            )
+    body = render_rows(
+        ["behavior", "t", "balance", "sign runs", "trans freq (interval)"], rows
+    )
+    return (
+        section("Figure 3: affinity dynamics (|R|=100, N=4000)") + "\n" + body
+    )

@@ -1,0 +1,105 @@
+"""Figures 4-5: LRU stack profiles, single stack vs 4-way split.
+
+For every benchmark the paper plots ``p1(x)`` ("normal") and ``p4(x)``
+("split") for cache sizes 16 KB .. 16 MB, plus the transition
+frequency.  This driver runs the section 4.1 pipeline — raw trace →
+16-KB fully-associative L1 filters → stack experiment — and reports
+both curves at the paper's six sizes along with the transition
+frequency and a splittability verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.splittability import SplittabilityReport, splittability_report
+from repro.analysis.stack_profiles import (
+    PAPER_CACHE_SIZE_LABELS,
+    PAPER_CACHE_SIZES_LINES,
+    StackExperimentResult,
+    run_stack_experiment,
+)
+from repro.experiments.report import ascii_curve, render_rows, section
+from repro.experiments.workloads import WORKLOAD_NAMES, workload
+from repro.traces.filters import L1Filter, L1FilterConfig
+
+
+@dataclass(frozen=True)
+class FigureProfileRow:
+    """One benchmark's Figure 4/5 panel."""
+
+    name: str
+    references: int  #: L1 misses fed to the stacks
+    p1_curve: "tuple[float, ...]"
+    p4_curve: "tuple[float, ...]"
+    transition_frequency: float
+    verdict: SplittabilityReport
+
+
+def run_figures45(
+    names: "Sequence[str]" = WORKLOAD_NAMES,
+    scale: float = 1.0,
+    sizes_lines: "Sequence[int]" = PAPER_CACHE_SIZES_LINES,
+) -> "list[FigureProfileRow]":
+    """Run the stack experiment for every workload."""
+    rows = []
+    for name in names:
+        spec = workload(name, scale=scale)
+        l1 = L1Filter(L1FilterConfig())
+        filtered = (ref.line for ref in l1.filter(spec.accesses()))
+        result: StackExperimentResult = run_stack_experiment(filtered, name=name)
+        p1_curve, p4_curve = result.curves(sizes_lines)
+        rows.append(
+            FigureProfileRow(
+                name=name,
+                references=result.references,
+                p1_curve=tuple(p1_curve),
+                p4_curve=tuple(p4_curve),
+                transition_frequency=result.transition_frequency,
+                verdict=splittability_report(result, sizes_lines),
+            )
+        )
+    return rows
+
+
+def render_figures45(
+    rows: "Sequence[FigureProfileRow]",
+    size_labels: "Sequence[str]" = PAPER_CACHE_SIZE_LABELS,
+) -> str:
+    """Per-benchmark p1/p4 values at the paper's sizes + verdicts."""
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [
+                row.name,
+                "p1",
+                *(f"{v:.3f}" for v in row.p1_curve),
+                f"{row.transition_frequency:.4f}",
+                "",
+            ]
+        )
+        table_rows.append(
+            [
+                row.name,
+                "p4",
+                *(f"{v:.3f}" for v in row.p4_curve),
+                "",
+                "SPLIT" if row.verdict.splittable else "no",
+            ]
+        )
+    body = render_rows(
+        ["benchmark", "curve", *size_labels, "trans", "splittable"], table_rows
+    )
+    sketches = "\n".join(
+        f"{row.name:12s} p1 |{ascii_curve(row.p1_curve, 6)}|  "
+        f"p4 |{ascii_curve(row.p4_curve, 6)}|"
+        for row in rows
+    )
+    return (
+        section("Figures 4-5: LRU stack profiles (normal vs split)")
+        + "\n"
+        + body
+        + "\n\nprofile sketches (16k..16M):\n"
+        + sketches
+    )

@@ -1,0 +1,39 @@
+"""Shared rendering helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.tables import TextTable
+
+
+def ascii_curve(values: "Sequence[float]", width: int = 40) -> str:
+    """Render a 0..1-valued series as a one-line bar sparkline.
+
+    Used to eyeball the Figure 4/5 profile shapes in terminal reports.
+    """
+    glyphs = " .:-=+*#%@"
+    cells = []
+    for value in values:
+        clamped = min(1.0, max(0.0, value))
+        cells.append(glyphs[min(len(glyphs) - 1, int(clamped * (len(glyphs) - 1) + 0.5))])
+    return "".join(cells)
+
+
+def ratio_cell(value: float) -> str:
+    """Table 2's "ratio" column format (two decimals)."""
+    if value != value:  # NaN: baseline had no misses
+        return "-"
+    return f"{value:.2f}"
+
+
+def section(title: str) -> str:
+    rule = "=" * len(title)
+    return f"{title}\n{rule}"
+
+
+def render_rows(columns: "Sequence[str]", rows: "Sequence[Sequence[object]]") -> str:
+    table = TextTable(columns)
+    for row in rows:
+        table.add_row(row)
+    return table.render()

@@ -1,0 +1,65 @@
+"""Regenerate every table and figure: ``python -m repro.experiments.run_all``.
+
+Options::
+
+    python -m repro.experiments.run_all --scale 0.5 --only table2
+    python -m repro.experiments.run_all --workloads 179.art 181.mcf
+
+The output of a full run (scale 1.0) is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.figure3 import render_figure3, run_figure3
+from repro.experiments.figures45 import render_figures45, run_figures45
+from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.speedups import project_speedups, render_speedups
+from repro.experiments.table2 import render_table2, run_table2
+from repro.experiments.workloads import WORKLOAD_NAMES
+
+_EXPERIMENTS = ("figure3", "table1", "figures45", "table2", "speedups")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0, help="workload scale")
+    parser.add_argument(
+        "--only",
+        choices=_EXPERIMENTS,
+        action="append",
+        help="run only these experiments (repeatable)",
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        default=list(WORKLOAD_NAMES),
+        help="subset of workload names",
+    )
+    args = parser.parse_args(argv)
+    selected = args.only or list(_EXPERIMENTS)
+
+    for experiment in selected:
+        start = time.time()
+        if experiment == "figure3":
+            print(render_figure3(run_figure3()))
+        elif experiment == "table1":
+            print(render_table1(run_table1(args.workloads, scale=args.scale)))
+        elif experiment == "figures45":
+            print(
+                render_figures45(run_figures45(args.workloads, scale=args.scale))
+            )
+        elif experiment == "table2":
+            print(render_table2(run_table2(args.workloads, scale=args.scale)))
+        elif experiment == "speedups":
+            rows = run_table2(args.workloads, scale=args.scale)
+            print(render_speedups(project_speedups(rows)))
+        print(f"[{experiment}: {time.time() - start:.1f}s]\n", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

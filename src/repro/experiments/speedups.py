@@ -1,0 +1,85 @@
+"""Speedup projection: Table 2 rows → performance gains vs ``P_mig``.
+
+The paper deliberately reports event frequencies, not cycles ("We make
+no assumption on the value of P_mig"), and argues in break-even terms.
+This driver makes the implied final step explicit: feed a Table 2 row
+into the first-order timing model and report the projected speedup of
+execution migration for a range of assumed relative migration
+penalties — the "potential for improving the performance of certain
+sequential programs, without degrading significantly the performance of
+others" of the abstract, as one table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.report import render_rows, section
+from repro.experiments.table2 import Table2Row
+from repro.multicore.timing import TimingModel, speedup_curve
+
+PAPER_PMIG_VALUES = (1, 5, 10, 20, 50, 100)
+
+
+@dataclass(frozen=True)
+class SpeedupRow:
+    """Projected migration speedups for one benchmark."""
+
+    name: str
+    break_even_pmig: float
+    speedups: "tuple[float, ...]"  #: one per PAPER_PMIG_VALUES entry
+
+
+def project_speedups(
+    rows: "Sequence[Table2Row]",
+    model: "TimingModel | None" = None,
+    pmig_values: "Sequence[float]" = PAPER_PMIG_VALUES,
+) -> "list[SpeedupRow]":
+    """Convert Table 2 rows into speedup-vs-P_mig projections."""
+    model = model or TimingModel()
+    projected = []
+    for row in rows:
+        curve = speedup_curve(
+            model,
+            instructions=row.instructions,
+            l1_misses=row.l1_misses,
+            l2_misses_baseline=row.l2_misses_baseline,
+            l2_misses_migrating=row.l2_misses_migrating,
+            migrations=row.migrations,
+            pmig_values=pmig_values,
+        )
+        projected.append(
+            SpeedupRow(
+                name=row.name,
+                break_even_pmig=row.break_even_pmig,
+                speedups=tuple(point.speedup for point in curve),
+            )
+        )
+    return projected
+
+
+def render_speedups(
+    rows: "Sequence[SpeedupRow]",
+    pmig_values: "Sequence[float]" = PAPER_PMIG_VALUES,
+) -> str:
+    body = render_rows(
+        ["benchmark", *(f"Pmig={int(p)}" for p in pmig_values), "break-even"],
+        [
+            [
+                row.name,
+                *(f"{s:.3f}" for s in row.speedups),
+                (
+                    "-"
+                    if row.break_even_pmig == float("inf")
+                    else f"{row.break_even_pmig:.0f}"
+                ),
+            ]
+            for row in rows
+        ],
+    )
+    return (
+        section("Projected speedup of execution migration vs assumed P_mig")
+        + "\n"
+        + body
+    )

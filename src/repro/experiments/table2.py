@@ -1,0 +1,141 @@
+"""Table 2: the four-core processor with 512-KB L2 caches.
+
+For every benchmark the paper reports, in instructions per event
+(higher is better): L1 misses, L2 misses on a single core ("normal"),
+L2 misses with migrations enabled ("4xL2"), the miss ratio
+``misses_with_migration / misses_baseline`` (below 1 = migration
+removed misses), and the number of migrations.
+
+This driver runs each workload twice over the identical trace: once
+through the single-core hierarchy (baseline) and once through the
+migration-mode chip (section 4.2 configuration), then derives the
+paper's columns plus the break-even ``P_mig``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.caches.hierarchy import SingleCoreHierarchy
+from repro.experiments.report import ratio_cell, render_rows, section
+from repro.experiments.workloads import WORKLOAD_NAMES, workload
+from repro.multicore.chip import ChipConfig, MultiCoreChip
+from repro.multicore.migration import break_even_pmig
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One benchmark's Table 2 entry (raw counts; per-event views below)."""
+
+    name: str
+    instructions: int
+    l1_misses: int
+    l2_misses_baseline: int
+    l2_misses_migrating: int
+    migrations: int
+
+    def _per(self, events: int) -> float:
+        return self.instructions / events if events else float("inf")
+
+    @property
+    def instr_per_l1_miss(self) -> float:
+        return self._per(self.l1_misses)
+
+    @property
+    def instr_per_l2_miss(self) -> float:
+        return self._per(self.l2_misses_baseline)
+
+    @property
+    def instr_per_4xl2_miss(self) -> float:
+        return self._per(self.l2_misses_migrating)
+
+    @property
+    def ratio(self) -> float:
+        """``misses_with_migration / misses_baseline`` — Table 2's
+        "ratio"; < 1 means execution migration removed L2 misses."""
+        if self.l2_misses_baseline == 0:
+            return float("nan")
+        return self.l2_misses_migrating / self.l2_misses_baseline
+
+    @property
+    def instr_per_migration(self) -> float:
+        return self._per(self.migrations)
+
+    @property
+    def break_even_pmig(self) -> float:
+        """Max relative migration penalty at which migration still wins."""
+        return break_even_pmig(
+            self.instructions,
+            self.l2_misses_baseline,
+            self.l2_misses_migrating,
+            self.migrations,
+        )
+
+
+def run_table2_for(name: str, scale: float = 1.0) -> Table2Row:
+    """Run baseline + migrating chip for one workload."""
+    spec = workload(name, scale=scale)
+    baseline = SingleCoreHierarchy()
+    for access in spec.accesses():
+        baseline.access(access)
+    chip = MultiCoreChip(ChipConfig())
+    chip.run(spec.accesses())
+    return Table2Row(
+        name=name,
+        instructions=chip.stats.instructions,
+        l1_misses=chip.stats.l1_misses,
+        l2_misses_baseline=baseline.stats.l2_misses,
+        l2_misses_migrating=chip.stats.l2_misses,
+        migrations=chip.stats.migrations,
+    )
+
+
+def run_table2(
+    names: "Sequence[str]" = WORKLOAD_NAMES, scale: float = 1.0
+) -> "list[Table2Row]":
+    return [run_table2_for(name, scale=scale) for name in names]
+
+
+def _per_cell(value: float) -> str:
+    if value == float("inf"):
+        return "-"
+    return f"{value:,.0f}"
+
+
+def render_table2(rows: "Sequence[Table2Row]") -> str:
+    body = render_rows(
+        [
+            "benchmark",
+            "L1 miss",
+            "L2 miss",
+            "4xL2 miss",
+            "ratio",
+            "migration",
+            "breakeven Pmig",
+        ],
+        [
+            [
+                row.name,
+                _per_cell(row.instr_per_l1_miss),
+                _per_cell(row.instr_per_l2_miss),
+                _per_cell(row.instr_per_4xl2_miss),
+                ratio_cell(row.ratio),
+                _per_cell(row.instr_per_migration),
+                (
+                    f"{row.break_even_pmig:.0f}"
+                    if row.break_even_pmig not in (float("inf"),)
+                    else "-"
+                ),
+            ]
+            for row in rows
+        ],
+    )
+    return (
+        section(
+            "Table 2: 4-core / 512-KB L2s — instructions per event "
+            "(higher is better)"
+        )
+        + "\n"
+        + body
+    )

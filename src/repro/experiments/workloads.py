@@ -1,0 +1,69 @@
+"""The 18-benchmark registry of the paper's evaluation (Table 1).
+
+13 SPEC CPU2000 models (:mod:`repro.traces.spec_models`) and 5
+mini-Olden programs (:mod:`repro.olden`), addressable by the paper's
+names.  A global ``scale`` knob shrinks every workload proportionally —
+1.0 is this reproduction's standard size (10^6-10^7 references per
+workload; the paper ran 10^9 instructions), and the test suite uses
+much smaller scales.
+
+Olden traces are cached per (name, scale) because building them means
+actually running the benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterator
+
+from repro.olden import OLDEN_BENCHMARKS, olden_benchmark
+from repro.traces.spec_models import spec_model, spec_model_names
+from repro.traces.trace import Access
+
+#: Paper order: SPEC first, then Olden (Tables 1-2, Figures 4-5).
+WORKLOAD_NAMES = tuple(spec_model_names()) + OLDEN_BENCHMARKS
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named, scaled workload that can produce its trace repeatedly."""
+
+    name: str
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.name not in WORKLOAD_NAMES:
+            raise KeyError(
+                f"unknown workload {self.name!r}; known: {WORKLOAD_NAMES}"
+            )
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+
+    @property
+    def is_olden(self) -> bool:
+        return self.name in OLDEN_BENCHMARKS
+
+    def accesses(self) -> "Iterator[Access]":
+        """The workload's access trace (deterministic, replayable)."""
+        if self.is_olden:
+            return _olden_trace(self.name, self.scale).accesses()
+        model = spec_model(self.name)
+        # Scale each model's own calibrated default length (2-6 x 10^6;
+        # the splittable models carry longer defaults for convergence).
+        model.length = max(10_000, int(model.length * self.scale))
+        return model.accesses()
+
+
+@lru_cache(maxsize=8)
+def _olden_trace(name: str, scale: float):
+    return olden_benchmark(name, scale=scale)
+
+
+def workload(name: str, scale: float = 1.0) -> WorkloadSpec:
+    """Look up one workload by its paper name (e.g. ``"179.art"``)."""
+    return WorkloadSpec(name=name, scale=scale)
+
+
+def workload_names() -> "list[str]":
+    return list(WORKLOAD_NAMES)

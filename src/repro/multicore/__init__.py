@@ -1,0 +1,46 @@
+"""The multi-core machine model (paper section 2).
+
+* :mod:`repro.multicore.coherence` -- the migration-mode L2 coherence
+  protocol: modified-bit ownership, valid-but-clean inactive copies,
+  update-bus store propagation, L2-to-L2 forwarding of modified lines.
+* :mod:`repro.multicore.chip` -- the full chip: mirrored L1s, one L2
+  per core, shared L3, a migration controller deciding the active core.
+* :mod:`repro.multicore.update_bus` -- bandwidth accounting for the
+  dedicated update bus (the paper's ~45 bytes/cycle estimate).
+* :mod:`repro.multicore.migration` -- the migration engine: transition
+  PC hand-off timing and the relative penalty model ``P_mig``.
+"""
+
+from repro.multicore.chip import ChipConfig, ChipStats, MultiCoreChip
+from repro.multicore.coherence import CoherentL2s, CoherenceStats
+from repro.multicore.migration import MigrationEngine, MigrationPenaltyModel
+from repro.multicore.timing import (
+    SpeedupPoint,
+    TimingModel,
+    break_even_pmig_timing,
+    migration_speedup,
+    speedup_curve,
+)
+from repro.multicore.update_bus import (
+    RegisterUpdateReduction,
+    UpdateBusModel,
+    UpdateBusTraffic,
+)
+
+__all__ = [
+    "ChipConfig",
+    "ChipStats",
+    "CoherenceStats",
+    "CoherentL2s",
+    "MigrationEngine",
+    "MigrationPenaltyModel",
+    "MultiCoreChip",
+    "RegisterUpdateReduction",
+    "SpeedupPoint",
+    "TimingModel",
+    "UpdateBusModel",
+    "UpdateBusTraffic",
+    "break_even_pmig_timing",
+    "migration_speedup",
+    "speedup_curve",
+]

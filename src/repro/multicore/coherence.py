@@ -1,0 +1,123 @@
+"""Migration-mode L2 coherence (paper section 2.1).
+
+In migration mode the usual invalidation protocol is replaced by an
+update protocol tailored to a single logical thread:
+
+* a line may be replicated in several L2 caches;
+* at most one copy is marked **modified** at any time;
+* a write on the active core sets its copy's modified bit and *resets*
+  (without invalidating) the modified bit of inactive copies, whose
+  content is refreshed over the update bus;
+* on eviction, a line is written back to L3 only if modified;
+* on an active-core L2 miss, a modified copy in another L2 may be
+  forwarded (simultaneously written back to L3, modified bit reset);
+  a clean copy in another L2 may **not** be forwarded — the line is
+  re-fetched from L3.
+
+The paper equates the L2-to-L2 forwarding penalty with an L2-miss /
+L3-hit, so both count as "L2 misses" in the reported statistics; the
+split is still recorded separately here for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.caches.hierarchy import CoreCacheConfig
+
+
+@dataclass
+class CoherenceStats:
+    """Counters across all L2s (active-core demand traffic only)."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0  #: demand misses (= forwards + l3_fetches)
+    forwards: int = 0  #: misses served by a modified copy in another L2
+    l3_fetches: int = 0  #: misses served by the L3
+    writebacks: int = 0  #: modified lines written back on eviction
+    inactive_updates: int = 0  #: update-bus stores applied to inactive copies
+
+
+class CoherentL2s:
+    """``num_cores`` L2 caches under the migration-mode protocol.
+
+    The caller tells it which core is active; it serves demand accesses
+    on that core's L2 and maintains the protocol invariants on the
+    others.  Dirty bits of the underlying caches play the role of the
+    modified bits.
+    """
+
+    def __init__(self, num_cores: int, config: "CoreCacheConfig | None" = None) -> None:
+        if num_cores <= 0:
+            raise ValueError(f"num_cores must be positive, got {num_cores}")
+        self.num_cores = num_cores
+        self.config = config or CoreCacheConfig()
+        self.caches = [self.config.make_l2() for _ in range(num_cores)]
+        self.stats = CoherenceStats()
+
+    def access(self, active_core: int, line: int, write: bool) -> bool:
+        """Demand access from the active core; returns ``True`` on hit."""
+        stats = self.stats
+        stats.accesses += 1
+        active = self.caches[active_core]
+        if active.access(line, write=write):
+            stats.hits += 1
+            if write:
+                self._demote_inactive_copies(active_core, line)
+            return True
+        stats.misses += 1
+        # The miss allocated the line in the active L2 (dirty iff write).
+        if active.last_eviction is not None and active.last_eviction.dirty:
+            stats.writebacks += 1
+        if self._forward_from_owner(active_core, line):
+            stats.forwards += 1
+        else:
+            stats.l3_fetches += 1
+        if write:
+            self._demote_inactive_copies(active_core, line)
+        return False
+
+    def _forward_from_owner(self, active_core: int, line: int) -> bool:
+        """Look for a modified copy elsewhere; forwarding writes it back
+        to L3 and resets its modified bit (section 2.1)."""
+        for core, cache in enumerate(self.caches):
+            if core == active_core:
+                continue
+            if cache.is_dirty(line):
+                cache.set_dirty(line, False)
+                return True
+        return False
+
+    def _demote_inactive_copies(self, active_core: int, line: int) -> None:
+        """A write on the active core: inactive copies stay valid but
+        lose their modified bit (their content arrives on the update
+        bus, so they are counted as updates)."""
+        for core, cache in enumerate(self.caches):
+            if core == active_core:
+                continue
+            if cache.update_if_present(line, dirty=False):
+                cache.set_dirty(line, False)
+                self.stats.inactive_updates += 1
+
+    def holders_of(self, line: int) -> "list[int]":
+        """Cores whose L2 currently holds the line (for tests)."""
+        return [i for i, cache in enumerate(self.caches) if line in cache]
+
+    def modified_holder_of(self, line: int) -> "int | None":
+        """The core holding the modified copy, if any (for tests)."""
+        for i, cache in enumerate(self.caches):
+            if cache.is_dirty(line):
+                return i
+        return None
+
+    def check_invariant(self, lines: "list[int]") -> None:
+        """Assert the at-most-one-modified-copy invariant for ``lines``."""
+        for line in lines:
+            owners = [
+                i for i, cache in enumerate(self.caches) if cache.is_dirty(line)
+            ]
+            if len(owners) > 1:
+                raise AssertionError(
+                    f"line {line:#x} modified in cores {owners}"
+                )

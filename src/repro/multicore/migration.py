@@ -1,0 +1,94 @@
+"""Migration mechanics and the penalty model (paper sections 2.2, 2.4).
+
+A migration from core X1 to X2:
+
+1. the migration controller interrupts X1's I-fetch unit;
+2. X1 marks the latest fetched instruction as the transition
+   instruction ``T`` and returns the transition PC;
+3. X2 starts fetching at the transition PC but its issue stage stays
+   blocked until ``T`` retires on X1 (so the broadcast architectural
+   state is complete);
+4. once ``T`` retires, X2 is the active core.
+
+The penalty is therefore roughly the cycles to broadcast ``T`` on the
+update bus plus the issue-to-retire pipeline depth.  The paper never
+fixes the *relative* penalty ``P_mig`` (migration cost in units of an
+L2-miss/L3-hit); instead it reports migration frequencies and argues in
+terms of break-even points ("as long as the migration penalty is less
+than 60 times the L2-miss penalty, we will observe gains on mcf").
+:class:`MigrationPenaltyModel` computes both directions: cycles per
+migration from microarchitectural parameters, and the break-even
+``P_mig`` from simulation statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.multicore.update_bus import UpdateBusModel
+
+
+@dataclass(frozen=True)
+class MigrationPenaltyModel:
+    """Analytic migration-penalty estimate."""
+
+    pipeline_issue_to_retire: int = 12  #: stages between issue and retirement
+    bus: UpdateBusModel = UpdateBusModel()
+    l2_miss_penalty_cycles: int = 200  #: an L2-miss/L3-hit, for P_mig
+
+    def migration_cycles(self) -> float:
+        """Cycles from ``T`` retiring on X1 to its successor retiring on
+        X2: one broadcast slot for ``T`` plus the pipeline refill."""
+        return self.bus.broadcast_cycles(1) + self.pipeline_issue_to_retire
+
+    def relative_penalty(self) -> float:
+        """``P_mig``: migration penalty in units of an L2-miss/L3-hit."""
+        return self.migration_cycles() / self.l2_miss_penalty_cycles
+
+
+@dataclass
+class MigrationEngine:
+    """Tracks the active core and counts migrations."""
+
+    num_cores: int
+    active_core: int = 0
+    migrations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ValueError(f"num_cores must be positive, got {self.num_cores}")
+        if not 0 <= self.active_core < self.num_cores:
+            raise ValueError(
+                f"active_core {self.active_core} outside [0, {self.num_cores})"
+            )
+
+    def migrate_to(self, core: int) -> bool:
+        """Switch the active core; returns ``True`` if a migration
+        actually happened (no-op when already there)."""
+        if not 0 <= core < self.num_cores:
+            raise ValueError(f"core {core} outside [0, {self.num_cores})")
+        if core == self.active_core:
+            return False
+        self.active_core = core
+        self.migrations += 1
+        return True
+
+
+def break_even_pmig(
+    instructions: int,
+    l2_misses_baseline: int,
+    l2_misses_migrating: int,
+    migrations: int,
+) -> float:
+    """L2 misses removed per migration — the maximum ``P_mig`` at which
+    migration still wins (the paper's mcf arithmetic:
+    ``4500/24 - 4500/36 ≈ 60``).
+
+    Positive = migration helps up to that relative penalty; negative =
+    migration added misses and can never win.  ``inf`` when migration
+    removed misses at zero migration cost.
+    """
+    if migrations == 0:
+        return float("inf") if l2_misses_migrating < l2_misses_baseline else 0.0
+    removed = l2_misses_baseline - l2_misses_migrating
+    return removed / migrations

@@ -1,0 +1,128 @@
+"""First-order performance model (paper sections 2.4 and 4.2).
+
+The paper never simulates cycles; it reasons with the *relative*
+migration penalty ``P_mig`` (a migration costs ``P_mig`` L2-miss/L3-hit
+penalties) and break-even arithmetic like "as long as the migration
+penalty is less than 60 times the L2-miss/L3-hit penalty, we will
+observe performance gains on 181.mcf".  This module closes that loop
+with the standard miss-penalty CPI decomposition::
+
+    cycles = instructions * base_cpi
+           + l2_accesses  * l2_hit_penalty      (L1 misses that hit L2)
+           + l2_misses    * l3_penalty          (L2-miss / L3-hit)
+           + migrations   * P_mig * l3_penalty
+
+so that, for any assumed ``P_mig``, a Table 2 row converts into a
+speedup — and the break-even ``P_mig`` falls out where the speedup
+crosses 1.0 (matching :func:`repro.multicore.migration.break_even_pmig`
+when the L1/L2-hit components cancel, as they do by construction: the
+L1 miss stream is identical with and without migration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Cycle-accounting parameters (defaults: a 2004-class core)."""
+
+    base_cpi: float = 1.0  #: pipeline CPI with a perfect L2
+    l2_hit_penalty: float = 12.0  #: extra cycles for an L1 miss / L2 hit
+    l3_penalty: float = 200.0  #: extra cycles for an L2 miss / L3 hit
+
+    def cycles(
+        self,
+        instructions: int,
+        l2_accesses: int,
+        l2_misses: int,
+        migrations: int = 0,
+        pmig: float = 0.0,
+    ) -> float:
+        """Total cycles under the miss-penalty decomposition."""
+        if instructions < 0 or l2_accesses < 0 or l2_misses < 0 or migrations < 0:
+            raise ValueError("event counts must be non-negative")
+        if pmig < 0:
+            raise ValueError(f"pmig must be non-negative, got {pmig}")
+        return (
+            instructions * self.base_cpi
+            + l2_accesses * self.l2_hit_penalty
+            + l2_misses * self.l3_penalty
+            + migrations * pmig * self.l3_penalty
+        )
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    """Migration speedup at one assumed relative penalty."""
+
+    pmig: float
+    speedup: float  #: baseline_cycles / migrating_cycles (>1 = win)
+
+
+def migration_speedup(
+    model: TimingModel,
+    instructions: int,
+    l1_misses: int,
+    l2_misses_baseline: int,
+    l2_misses_migrating: int,
+    migrations: int,
+    pmig: float,
+) -> float:
+    """Speedup of the migrating chip over the single-core baseline.
+
+    The L1-miss stream is identical on both machines (strict L1
+    mirroring), so both sides carry the same ``l1_misses`` L2-access
+    component and differ only in L2 misses and migration stalls.
+    """
+    baseline = model.cycles(instructions, l1_misses, l2_misses_baseline)
+    migrating = model.cycles(
+        instructions, l1_misses, l2_misses_migrating, migrations, pmig
+    )
+    return baseline / migrating
+
+
+def speedup_curve(
+    model: TimingModel,
+    instructions: int,
+    l1_misses: int,
+    l2_misses_baseline: int,
+    l2_misses_migrating: int,
+    migrations: int,
+    pmig_values: "Sequence[float]" = (1, 2, 5, 10, 20, 50, 100),
+) -> "list[SpeedupPoint]":
+    """Speedup as a function of the assumed ``P_mig`` (the paper's way
+    of presenting the trade-off without fixing a technology)."""
+    return [
+        SpeedupPoint(
+            pmig=float(pmig),
+            speedup=migration_speedup(
+                model,
+                instructions,
+                l1_misses,
+                l2_misses_baseline,
+                l2_misses_migrating,
+                migrations,
+                float(pmig),
+            ),
+        )
+        for pmig in pmig_values
+    ]
+
+
+def break_even_pmig_timing(
+    l2_misses_baseline: int,
+    l2_misses_migrating: int,
+    migrations: int,
+) -> float:
+    """``P_mig`` at which the speedup crosses 1.0.
+
+    Under the decomposition above the base-CPI and L2-hit terms cancel,
+    so the crossing is exactly (misses removed) / migrations — the
+    paper's arithmetic, independent of the timing parameters.
+    """
+    if migrations == 0:
+        return float("inf") if l2_misses_migrating < l2_misses_baseline else 0.0
+    return (l2_misses_baseline - l2_misses_migrating) / migrations

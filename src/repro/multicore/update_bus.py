@@ -1,0 +1,136 @@
+"""Update-bus bandwidth model (paper section 2.3).
+
+In migration mode every retired instruction is broadcast so inactive
+cores can shadow the architectural state: register writes (identifier +
+64-bit value), stores (address + value), branches (truncated address +
+outcome), TLB updates.  The paper's example — a 4-wide core retiring at
+most one store and one branch per cycle — needs about 45 bytes/cycle.
+
+:class:`UpdateBusModel` reproduces that estimate from its parameters and
+:class:`UpdateBusTraffic` accumulates the per-event byte counts of an
+actual simulated run (used by the chip model to report bus occupancy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class UpdateBusModel:
+    """Static per-cycle bandwidth estimate (defaults = the paper's example)."""
+
+    retire_width: int = 4  #: instructions retired per cycle
+    stores_per_cycle: int = 1
+    branches_per_cycle: int = 1
+    register_id_bits: int = 6
+    value_bits: int = 64
+    store_address_bits: int = 64
+    branch_address_bits: int = 16  #: low-order bits suffice for predictor training
+    type_bits_per_instruction: int = 2
+
+    def bytes_per_cycle(self) -> float:
+        """Peak bytes/cycle the bus must carry (the paper's ~45 B/cycle)."""
+        bits = (
+            self.retire_width * (self.register_id_bits + self.value_bits)
+            + self.stores_per_cycle * self.store_address_bits
+            + self.branches_per_cycle * self.branch_address_bits
+            + self.retire_width * self.type_bits_per_instruction
+        )
+        return bits / 8.0
+
+    def broadcast_cycles(self, instructions: int) -> float:
+        """Cycles to broadcast ``instructions`` retired instructions."""
+        if instructions < 0:
+            raise ValueError("instructions must be non-negative")
+        return instructions / self.retire_width
+
+
+@dataclass(frozen=True)
+class RegisterUpdateReduction:
+    """Bandwidth-reduction strategies for register updates (paper §6).
+
+    Register updates dominate the update-bus bandwidth.  The paper's
+    conclusion sketches two remedies, modelled here analytically:
+
+    * **threshold broadcasting** — broadcast register updates only while
+      the transition filter's magnitude is below a threshold (a
+      migration can only be near when the filter is near zero).  The
+      bus then carries register traffic only for ``duty_cycle`` of the
+      time; on a migration the at most ``architectural_registers``
+      missing values must be broadcast first, lengthening the
+      migration.
+    * **register-update cache** — a small cache of the most recently
+      written registers; an update is broadcast only when an entry is
+      evicted.  A fraction ``rewrite_fraction`` of writes hit the cache
+      (registers are rewritten frequently) and are never broadcast; on
+      a migration the cache (at most ``cache_entries`` values) is
+      spilled.
+    """
+
+    bus: UpdateBusModel = UpdateBusModel()
+    architectural_registers: int = 64  #: int + fp register files
+    register_bits: int = 64 + 6  #: value + identifier
+
+    def threshold_bandwidth(self, duty_cycle: float) -> float:
+        """Bytes/cycle with threshold broadcasting active a fraction
+        ``duty_cycle`` of the time."""
+        if not 0.0 <= duty_cycle <= 1.0:
+            raise ValueError(f"duty_cycle must be in [0, 1], got {duty_cycle}")
+        full = self.bus.bytes_per_cycle()
+        register_bytes = self.bus.retire_width * self.register_bits / 8.0
+        return full - (1.0 - duty_cycle) * register_bytes
+
+    def threshold_migration_penalty_cycles(self) -> float:
+        """Extra migration cycles to broadcast the missing registers."""
+        total_bits = self.architectural_registers * self.register_bits
+        return (total_bits / 8.0) / self.bus.bytes_per_cycle()
+
+    def cache_bandwidth(self, rewrite_fraction: float) -> float:
+        """Bytes/cycle with a register-update cache filtering a fraction
+        ``rewrite_fraction`` of register writes."""
+        if not 0.0 <= rewrite_fraction <= 1.0:
+            raise ValueError(
+                f"rewrite_fraction must be in [0, 1], got {rewrite_fraction}"
+            )
+        full = self.bus.bytes_per_cycle()
+        register_bytes = self.bus.retire_width * self.register_bits / 8.0
+        return full - rewrite_fraction * register_bytes
+
+    def cache_migration_penalty_cycles(self, cache_entries: int) -> float:
+        """Extra migration cycles to spill the register-update cache."""
+        if cache_entries < 0:
+            raise ValueError("cache_entries must be non-negative")
+        total_bits = cache_entries * self.register_bits
+        return (total_bits / 8.0) / self.bus.bytes_per_cycle()
+
+
+@dataclass
+class UpdateBusTraffic:
+    """Byte counters for one simulated run."""
+
+    register_bytes: int = 0
+    store_bytes: int = 0
+    branch_bytes: int = 0
+    l1_fill_bytes: int = 0  #: L1 miss fills broadcast to inactive L1s
+
+    def record_register_update(self, count: int = 1) -> None:
+        self.register_bytes += count * (6 + 64) // 8 + 1
+
+    def record_store(self, count: int = 1) -> None:
+        self.store_bytes += count * (64 + 64) // 8
+
+    def record_branch(self, count: int = 1) -> None:
+        self.branch_bytes += count * (16 + 2) // 8 + 1
+
+    def record_l1_fill(self, line_size: int = 64, count: int = 1) -> None:
+        self.l1_fill_bytes += count * line_size
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.register_bytes
+            + self.store_bytes
+            + self.branch_bytes
+            + self.l1_fill_bytes
+        )

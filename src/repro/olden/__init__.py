@@ -1,0 +1,81 @@
+"""Mini-Olden: the five Olden benchmarks the paper evaluates, re-implemented
+in Python over a traced heap.
+
+The Olden suite [Carlisle & Rogers 1995; sequential versions by Amir
+Roth] exercises linked data structures — exactly the workloads the
+paper's conclusion singles out as the most promising for execution
+migration.  Rather than synthesising "pointer-like" traces, this package
+*runs the real algorithms* over a simulated heap
+(:class:`repro.olden.heap.TracedHeap`) that records every field access
+with its dynamic instruction index, so the locality structure in the
+trace is the genuine article.
+
+Benchmarks (paper Table 1 inputs in parentheses; defaults here are
+scaled down, every size is a constructor argument):
+
+* :func:`~repro.olden.bh.bh` — Barnes-Hut N-body (2k bodies)
+* :func:`~repro.olden.bisort.bisort` — bitonic sort of a binary tree (250k numbers)
+* :func:`~repro.olden.em3d.em3d` — 3-D electromagnetic wave propagation (2000 nodes)
+* :func:`~repro.olden.health.health` — Colombian health-care simulation (5 levels, 500 iters)
+* :func:`~repro.olden.mst.mst` — minimum spanning tree over hashed adjacency (1024 nodes)
+"""
+
+from repro.olden.heap import HeapObject, RecordedTrace, TracedHeap
+from repro.olden.bh import bh
+from repro.olden.bisort import bisort
+from repro.olden.em3d import em3d
+from repro.olden.health import health
+from repro.olden.mst import mst
+from repro.olden.perimeter import perimeter
+from repro.olden.treeadd import treeadd
+
+#: the five benchmarks the paper evaluates (Tables 1-2, Figure 5)
+OLDEN_BENCHMARKS = ("bh", "bisort", "em3d", "health", "mst")
+
+#: extra Olden programs implemented beyond the paper's set
+OLDEN_EXTENSIONS = ("perimeter", "treeadd")
+
+
+def olden_benchmark(name: str, scale: float = 1.0) -> RecordedTrace:
+    """Run one Olden benchmark at a size factor and return its trace.
+
+    ``scale`` multiplies the default problem size (1.0 = this package's
+    defaults, which are themselves scaled down from the paper's inputs).
+    """
+    if name == "bh":
+        return bh(num_bodies=max(64, int(2048 * scale)))
+    if name == "bisort":
+        target = max(1024, int(8192 * scale))
+        return bisort(size=1 << (target - 1).bit_length())
+    if name == "em3d":
+        return em3d(num_nodes=max(128, int(2000 * scale)))
+    if name == "health":
+        return health(max_level=4, timesteps=max(20, int(160 * scale)))
+    if name == "mst":
+        return mst(num_vertices=max(64, int(512 * scale)))
+    if name == "treeadd":
+        target = max(256, int((1 << 14) * scale))
+        return treeadd(levels=target.bit_length())
+    if name == "perimeter":
+        return perimeter(levels=7 if scale >= 0.5 else 6)
+    raise KeyError(
+        f"unknown Olden benchmark {name!r}; "
+        f"known: {OLDEN_BENCHMARKS + OLDEN_EXTENSIONS}"
+    )
+
+
+__all__ = [
+    "HeapObject",
+    "OLDEN_BENCHMARKS",
+    "OLDEN_EXTENSIONS",
+    "RecordedTrace",
+    "TracedHeap",
+    "bh",
+    "bisort",
+    "em3d",
+    "health",
+    "mst",
+    "olden_benchmark",
+    "perimeter",
+    "treeadd",
+]

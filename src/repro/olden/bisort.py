@@ -1,0 +1,130 @@
+"""Olden ``bisort``: adaptive bitonic sort over a binary tree
+[Bilardi & Nicolau], following the structure of the Olden C source
+(``RandTree`` + ``Bisort`` + ``Bimerge`` with value/subtree spine swaps).
+
+The access pattern is recursive tree walks with value swaps along
+left/right spines — pointer chasing over a perfect binary tree.  The
+paper (Table 2) finds bisort essentially non-splittable (ratio 1.08).
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import make_rng
+from repro.olden.heap import HeapObject, RecordedTrace, TracedHeap
+
+_FIELDS = ("value", "left", "right")
+
+
+def _rand_tree(heap: TracedHeap, size: int, rng) -> HeapObject:
+    """Build a perfect binary tree of ``size - 1`` nodes (size = 2^k),
+    filled with random values, as Olden's ``RandTree`` does."""
+    node = heap.allocate(_FIELDS)
+    node.set("value", int(rng.integers(0, 1 << 30)))
+    if size > 2:
+        node.set("left", _rand_tree(heap, size // 2, rng))
+        node.set("right", _rand_tree(heap, size // 2, rng))
+    else:
+        node.set("left", None)
+        node.set("right", None)
+    return node
+
+
+def _swap_value(a: HeapObject, b: HeapObject, heap: TracedHeap) -> None:
+    va = a.get("value")
+    vb = b.get("value")
+    a.set("value", vb)
+    b.set("value", va)
+    heap.work(2)
+
+
+def _swap_subtree(a: HeapObject, b: HeapObject, side: str, heap: TracedHeap) -> None:
+    sa = a.get(side)
+    sb = b.get(side)
+    a.set(side, sb)
+    b.set(side, sa)
+    heap.work(2)
+
+
+def _bimerge(heap: TracedHeap, t: HeapObject, sprval: int, direction: bool) -> int:
+    """Merge a bitonic tree into a sorted one; returns the new spare."""
+    right_exchange = (t.get("value") > sprval) ^ direction
+    if right_exchange:
+        value = t.get("value")
+        t.set("value", sprval)
+        sprval = value
+    pl = t.get("left")
+    pr = t.get("right")
+    while pl is not None:
+        element_exchange = (pl.get("value") > pr.get("value")) ^ direction
+        pll = pl.get("left")
+        plr = pl.get("right")
+        prl = pr.get("left")
+        prr = pr.get("right")
+        if right_exchange:
+            if element_exchange:
+                _swap_value(pl, pr, heap)
+                _swap_subtree(pl, pr, "right", heap)
+                pl = pll
+                pr = prl
+            else:
+                pl = plr
+                pr = prr
+        else:
+            if element_exchange:
+                _swap_value(pl, pr, heap)
+                _swap_subtree(pl, pr, "left", heap)
+                pl = plr
+                pr = prr
+            else:
+                pl = pll
+                pr = prl
+    if t.get("left") is not None:
+        t.set("value", _bimerge(heap, t.get("left"), t.get("value"), direction))
+        sprval = _bimerge(heap, t.get("right"), sprval, direction)
+    return sprval
+
+
+def _bisort(heap: TracedHeap, t: HeapObject, sprval: int, direction: bool) -> int:
+    """Sort the tree + spare; ``direction`` False = ascending."""
+    if t.get("left") is None:
+        if (t.get("value") > sprval) ^ direction:
+            value = t.get("value")
+            t.set("value", sprval)
+            sprval = value
+    else:
+        t.set("value", _bisort(heap, t.get("left"), t.get("value"), direction))
+        sprval = _bisort(heap, t.get("right"), sprval, not direction)
+        sprval = _bimerge(heap, t, sprval, direction)
+    return sprval
+
+
+def _inorder(t: "HeapObject | None", out: "list[int]") -> None:
+    if t is None:
+        return
+    _inorder(t.peek("left"), out)
+    out.append(t.peek("value"))
+    _inorder(t.peek("right"), out)
+
+
+def bisort(size: int = 8192, seed: int = 1024, check: bool = False) -> RecordedTrace:
+    """Run bisort on ``size`` values (must be a power of two >= 2).
+
+    As in Olden's driver, the tree is sorted forward and then backward.
+    With ``check=True`` the in-order result is verified to be sorted
+    (descending after the backward pass) before the trace is returned.
+    """
+    if size < 2 or size & (size - 1):
+        raise ValueError(f"size must be a power of two >= 2, got {size}")
+    heap = TracedHeap("bisort")
+    rng = make_rng(seed)
+    root = _rand_tree(heap, size, rng)
+    spare = int(rng.integers(0, 1 << 30))
+    spare = _bisort(heap, root, spare, False)  # forward (ascending)
+    spare = _bisort(heap, root, spare, True)  # backward (descending)
+    if check:
+        values: "list[int]" = []
+        _inorder(root, values)
+        values.append(spare)
+        if values != sorted(values, reverse=True):
+            raise AssertionError("bisort backward pass did not sort descending")
+    return heap.finish()

@@ -1,0 +1,231 @@
+"""Olden ``health``: discrete-event simulation of the Colombian
+health-care system [Lomet; Olden port by Carlisle & Rogers].
+
+A 4-ary tree of villages, each with a hospital holding three linked
+lists of patients (waiting, assess, inside).  Every timestep, each
+village generates patients stochastically; patients wait, are assessed,
+and are then either treated locally or referred *up* the tree to the
+parent hospital.  The hot data structure is a forest of linked lists
+whose cells are allocated continuously — the churning pointer-chasing
+workload the paper's conclusion highlights (Table 2 ratio 0.14).
+
+This is a faithful port of the Olden logic (``sim``,
+``check_patients_*``, ``generate_patient``) with the list cells
+allocated on the traced heap.
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import make_rng
+from repro.olden.heap import HeapObject, RecordedTrace, TracedHeap
+
+_VILLAGE_FIELDS = (
+    "level",
+    "seed",
+    "parent",
+    "child0",
+    "child1",
+    "child2",
+    "child3",
+    "free_personnel",
+    "waiting",
+    "assess",
+    "inside",
+    "returned",
+)
+_PATIENT_FIELDS = ("hosps_visited", "time", "time_left", "chart")
+_CHART_FIELDS = tuple(f"c{i}" for i in range(8))
+_CELL_FIELDS = ("patient", "next")
+
+_ASSESS_TIME = 5
+_TREATMENT_TIME = 60
+_REFERRAL_PROBABILITY = 1.0 / 3.0
+_SICK_PROBABILITY = 0.9
+_PERSONNEL = 80
+
+
+class _List:
+    """A traced singly-linked list with head pointer stored in a village
+    field.  Operations walk and mutate heap cells (all accesses traced)."""
+
+    def __init__(self, heap: TracedHeap, owner: HeapObject, field: str) -> None:
+        self._heap = heap
+        self._owner = owner
+        self._field = field
+
+    def push_back(self, patient: HeapObject) -> None:
+        cell = self._heap.allocate(_CELL_FIELDS)
+        cell.set("patient", patient)
+        cell.set("next", None)
+        head = self._owner.get(self._field)
+        if head is None:
+            self._owner.set(self._field, cell)
+            return
+        node = head
+        while True:
+            nxt = node.get("next")
+            if nxt is None:
+                break
+            node = nxt
+        node.set("next", cell)
+
+    def drain(self) -> "list[HeapObject]":
+        """Walk the list collecting patients, removing every cell."""
+        patients = []
+        node = self._owner.get(self._field)
+        while node is not None:
+            patients.append(node.get("patient"))
+            node = node.get("next")
+        self._owner.set(self._field, None)
+        return patients
+
+    def filter_in_place(self, keep) -> "list[HeapObject]":
+        """Remove patients for which ``keep(patient)`` is false; return
+        the removed ones.  Walks the list with traced pointer updates."""
+        removed = []
+        previous = None
+        node = self._owner.get(self._field)
+        while node is not None:
+            patient = node.get("patient")
+            nxt = node.get("next")
+            if keep(patient):
+                previous = node
+            else:
+                removed.append(patient)
+                if previous is None:
+                    self._owner.set(self._field, nxt)
+                else:
+                    previous.set("next", nxt)
+            node = nxt
+        return removed
+
+
+def _build_village(
+    heap: TracedHeap,
+    level: int,
+    parent: "HeapObject | None",
+    rng,
+    villages: "list[HeapObject]",
+) -> HeapObject:
+    village = heap.allocate(_VILLAGE_FIELDS)
+    village.set("level", level)
+    village.set("seed", int(rng.integers(0, 1 << 30)))
+    village.set("parent", parent)
+    village.set("free_personnel", _PERSONNEL)
+    for field in ("waiting", "assess", "inside", "returned"):
+        village.set(field, None)
+    villages.append(village)
+    for i in range(4):
+        child = (
+            _build_village(heap, level - 1, village, rng, villages)
+            if level > 0
+            else None
+        )
+        village.set(f"child{i}", child)
+    return village
+
+
+def _simulate_step(heap: TracedHeap, village: HeapObject, rng) -> None:
+    """One timestep at one village (post-order over the tree is done by
+    the caller, mirroring Olden's bottom-up ``sim``)."""
+    waiting = _List(heap, village, "waiting")
+    assess = _List(heap, village, "assess")
+    inside = _List(heap, village, "inside")
+
+    # check_patients_inside: treated patients leave, freeing personnel.
+    def still_inside(patient: HeapObject) -> bool:
+        time_left = patient.get("time_left") - 1
+        patient.set("time_left", time_left)
+        patient.set("time", patient.get("time") + 1)
+        chart = patient.get("chart")
+        chart.get(_CHART_FIELDS[time_left % 8])
+        chart.set(_CHART_FIELDS[(time_left + 1) % 8], time_left)
+        return time_left > 0
+
+    done = inside.filter_in_place(still_inside)
+    if done:
+        village.set(
+            "free_personnel", village.get("free_personnel") + len(done)
+        )
+
+    # check_patients_assess: assessed patients are treated locally or
+    # referred up with probability 1/3 (always referred at level 0... the
+    # Olden rule refers up when the assessment says so and a parent exists).
+    referrals: "list[HeapObject]" = []
+
+    def still_assessing(patient: HeapObject) -> bool:
+        time_left = patient.get("time_left") - 1
+        patient.set("time_left", time_left)
+        patient.set("time", patient.get("time") + 1)
+        return time_left > 0
+
+    finished = assess.filter_in_place(still_assessing)
+    for patient in finished:
+        parent = village.get("parent")
+        if parent is not None and rng.random() < _REFERRAL_PROBABILITY:
+            referrals.append(patient)
+            village.set(
+                "free_personnel", village.get("free_personnel") + 1
+            )
+        else:
+            patient.set("time_left", _TREATMENT_TIME)
+            inside.push_back(patient)
+
+    for patient in referrals:
+        patient.set("hosps_visited", patient.get("hosps_visited") + 1)
+        parent = village.get("parent")
+        _List(heap, parent, "waiting").push_back(patient)
+
+    # check_patients_waiting: admit while personnel are free.
+    admitted: "list[HeapObject]" = []
+
+    def keep_waiting(patient: HeapObject) -> bool:
+        if village.get("free_personnel") > 0 and not admitted_full[0]:
+            village.set("free_personnel", village.get("free_personnel") - 1)
+            patient.set("time_left", _ASSESS_TIME)
+            admitted.append(patient)
+            return False
+        patient.set("time", patient.get("time") + 1)
+        return True
+
+    admitted_full = [False]
+    waiting.filter_in_place(keep_waiting)
+    for patient in admitted:
+        assess.push_back(patient)
+
+    # generate_patient: every village admits new patients stochastically
+    # (leaves and interior hospitals alike).
+    if rng.random() < _SICK_PROBABILITY:
+        patient = heap.allocate(_PATIENT_FIELDS)
+        patient.set("hosps_visited", 1)
+        patient.set("time", 0)
+        patient.set("time_left", 0)
+        chart = heap.allocate(_CHART_FIELDS)
+        for field in _CHART_FIELDS:
+            chart.set(field, 0)
+        patient.set("chart", chart)
+        waiting.push_back(patient)
+
+
+def health(
+    max_level: int = 4, timesteps: int = 160, seed: int = 42
+) -> RecordedTrace:
+    """Run the health simulation.
+
+    ``max_level`` levels of villages (the paper uses 5; default 4 =
+    85 villages) for ``timesteps`` steps (paper: 500).
+    """
+    if max_level < 1:
+        raise ValueError(f"max_level must be >= 1, got {max_level}")
+    if timesteps <= 0:
+        raise ValueError(f"timesteps must be positive, got {timesteps}")
+    heap = TracedHeap("health")
+    rng = make_rng(seed)
+    villages: "list[HeapObject]" = []
+    _build_village(heap, max_level - 1, None, rng, villages)
+    # Bottom-up order: deeper villages first, as in Olden's recursive sim.
+    villages.sort(key=lambda v: v.peek("level"))
+    for _ in range(timesteps):
+        for village in villages:
+            _simulate_step(heap, village, rng)
+    return heap.finish()

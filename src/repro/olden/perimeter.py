@@ -1,0 +1,187 @@
+"""Olden ``perimeter``: perimeter of a quadtree-encoded image region
+[Samet's algorithm; Olden port by Carlisle & Rogers].
+
+Another extension workload beyond the paper's five: a four-way pointer
+tree (NW/NE/SW/SE + parent) is built over a rasterised disk, and the
+region's perimeter is computed by visiting every black leaf and
+checking its four sides against same-or-larger adjacent neighbours,
+found by walking *up* through parent pointers and mirroring back down —
+Samet's classic neighbour-finding, an aggressively pointer-chasing
+access pattern.
+
+The traced result is verified against a brute-force pixel count on the
+same raster.
+"""
+
+from __future__ import annotations
+
+from repro.olden.heap import HeapObject, RecordedTrace, TracedHeap
+
+_NODE_FIELDS = ("color", "parent", "quadrant", "size", "nw", "ne", "sw", "se")
+
+_WHITE, _BLACK, _GREY = 0, 1, 2
+
+#: child quadrants as (dy, dx) half-offsets
+_QUADRANTS = {"nw": (0, 0), "ne": (0, 1), "sw": (1, 0), "se": (1, 1)}
+
+# Samet adjacency tables for vertical/horizontal neighbours:
+# _ADJACENT[side][quadrant] is True when the neighbour in `side`
+# direction lies outside the parent; _REFLECT[side][quadrant] mirrors a
+# quadrant across the side.
+_ADJACENT = {
+    "north": {"nw": True, "ne": True, "sw": False, "se": False},
+    "south": {"sw": True, "se": True, "nw": False, "ne": False},
+    "west": {"nw": True, "sw": True, "ne": False, "se": False},
+    "east": {"ne": True, "se": True, "nw": False, "sw": False},
+}
+_REFLECT = {
+    "north": {"nw": "sw", "ne": "se", "sw": "nw", "se": "ne"},
+    "south": {"nw": "sw", "ne": "se", "sw": "nw", "se": "ne"},
+    "west": {"nw": "ne", "sw": "se", "ne": "nw", "se": "sw"},
+    "east": {"nw": "ne", "sw": "se", "ne": "nw", "se": "sw"},
+}
+
+
+def _disk_color(y: int, x: int, size: int) -> bool:
+    """The rasterised image: a disk centred in the [0, size)^2 grid."""
+    cy = cx = (size - 1) / 2.0
+    radius = size * 0.37
+    return (y - cy) ** 2 + (x - cx) ** 2 <= radius**2
+
+
+def _build(
+    heap: TracedHeap,
+    parent: "HeapObject | None",
+    quadrant: "str | None",
+    y: int,
+    x: int,
+    size: int,
+) -> HeapObject:
+    node = heap.allocate(_NODE_FIELDS)
+    node.set("parent", parent)
+    node.set("quadrant", quadrant)
+    node.set("size", size)
+    colors = {
+        _disk_color(yy, xx, _build.image_size)
+        for yy in range(y, y + size)
+        for xx in range(x, x + size)
+    }
+    if len(colors) == 1 or size == 1:
+        node.set("color", _BLACK if colors.pop() else _WHITE)
+        for child in _QUADRANTS:
+            node.set(child, None)
+    else:
+        node.set("color", _GREY)
+        half = size // 2
+        for child, (dy, dx) in _QUADRANTS.items():
+            node.set(
+                child,
+                _build(heap, node, child, y + dy * half, x + dx * half, half),
+            )
+    return node
+
+
+def _neighbor(heap: TracedHeap, node: HeapObject, side: str) -> "HeapObject | None":
+    """Samet: the same-or-larger neighbour of ``node`` on ``side``."""
+    quadrant = node.get("quadrant")
+    parent = node.get("parent")
+    if parent is None:
+        return None
+    if _ADJACENT[side][quadrant]:
+        mirror = _neighbor(heap, parent, side)
+        if mirror is None or mirror.get("color") != _GREY:
+            return mirror
+        return mirror.get(_REFLECT[side][quadrant])
+    return parent.get(_REFLECT[side][quadrant])
+
+
+def _side_contribution(
+    heap: TracedHeap, node: HeapObject, side: str
+) -> int:
+    """Perimeter contributed by one side of a black leaf."""
+    size = node.get("size")
+    neighbor = _neighbor(heap, node, side)
+    if neighbor is None:
+        return size  # image border
+    color = neighbor.get("color")
+    if color == _WHITE:
+        return size
+    if color == _BLACK:
+        return 0
+    # Grey, same size: sum the white leaves along the touching edge.
+    opposite = {"north": "south", "south": "north", "west": "east", "east": "west"}
+    return _edge_white_length(heap, neighbor, opposite[side], size)
+
+
+def _edge_white_length(
+    heap: TracedHeap, node: HeapObject, side: str, limit: int
+) -> int:
+    """Length of white border along ``side`` of ``node``'s subtree."""
+    color = node.get("color")
+    if color == _WHITE:
+        return min(node.get("size"), limit)
+    if color == _BLACK:
+        return 0
+    touching = {
+        "north": ("nw", "ne"),
+        "south": ("sw", "se"),
+        "west": ("nw", "sw"),
+        "east": ("ne", "se"),
+    }[side]
+    return sum(
+        _edge_white_length(heap, node.get(child), side, limit)
+        for child in touching
+    )
+
+
+def _perimeter(heap: TracedHeap, node: HeapObject) -> int:
+    color = node.get("color")
+    if color == _GREY:
+        return sum(
+            _perimeter(heap, node.get(child)) for child in _QUADRANTS
+        )
+    if color == _WHITE:
+        return 0
+    heap.work(8)
+    return sum(
+        _side_contribution(heap, node, side)
+        for side in ("north", "south", "west", "east")
+    )
+
+
+def _reference_perimeter(size: int) -> int:
+    """Brute force on the raster: black pixels' white/border edges."""
+    total = 0
+    for y in range(size):
+        for x in range(size):
+            if not _disk_color(y, x, size):
+                continue
+            for dy, dx in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                ny, nx = y + dy, x + dx
+                if not (0 <= ny < size and 0 <= nx < size):
+                    total += 1
+                elif not _disk_color(ny, nx, size):
+                    total += 1
+    return total
+
+
+def perimeter(levels: int = 7, iterations: int = 2) -> RecordedTrace:
+    """Build the quadtree of a ``2^levels``-pixel-square disk image and
+    compute its perimeter ``iterations`` times, verifying against the
+    brute-force raster answer."""
+    if levels < 1:
+        raise ValueError(f"levels must be >= 1, got {levels}")
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    size = 1 << levels
+    heap = TracedHeap("perimeter")
+    _build.image_size = size
+    root = _build(heap, None, None, 0, 0, size)
+    expected = _reference_perimeter(size)
+    for _ in range(iterations):
+        measured = _perimeter(heap, root)
+        if measured != expected:
+            raise AssertionError(
+                f"perimeter computed {measured}, expected {expected}"
+            )
+    return heap.finish()

@@ -1,0 +1,57 @@
+"""Olden ``treeadd``: recursive sum over a balanced binary tree.
+
+Not part of the paper's five evaluated Olden benchmarks, but the
+simplest member of the suite and a useful extra workload: repeated
+depth-first walks over a pointer tree are the cleanest example of a
+*recurring deterministic traversal order* — circular behaviour in
+disguise, hence splittable once the tree outgrows one L2.
+
+The traced sum is checked against the known closed form.
+"""
+
+from __future__ import annotations
+
+from repro.olden.heap import HeapObject, RecordedTrace, TracedHeap
+
+_NODE_FIELDS = ("value", "left", "right")
+
+
+def _build(heap: TracedHeap, levels: int) -> HeapObject:
+    node = heap.allocate(_NODE_FIELDS)
+    node.set("value", 1)
+    if levels > 1:
+        node.set("left", _build(heap, levels - 1))
+        node.set("right", _build(heap, levels - 1))
+    else:
+        node.set("left", None)
+        node.set("right", None)
+    return node
+
+
+def _tree_add(heap: TracedHeap, node: "HeapObject | None") -> int:
+    if node is None:
+        return 0
+    total = node.get("value")
+    total += _tree_add(heap, node.get("left"))
+    total += _tree_add(heap, node.get("right"))
+    heap.work(3)
+    return total
+
+
+def treeadd(levels: int = 14, iterations: int = 4) -> RecordedTrace:
+    """Build a ``levels``-deep perfect tree and sum it ``iterations``
+    times (Olden's driver re-walks the tree repeatedly too)."""
+    if levels < 1:
+        raise ValueError(f"levels must be >= 1, got {levels}")
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    heap = TracedHeap("treeadd")
+    root = _build(heap, levels)
+    expected = (1 << levels) - 1
+    for _ in range(iterations):
+        total = _tree_add(heap, root)
+        if total != expected:
+            raise AssertionError(
+                f"treeadd computed {total}, expected {expected}"
+            )
+    return heap.finish()

@@ -1,0 +1,43 @@
+"""Offline working-set partitioning baselines (paper section 3.1).
+
+The paper frames working-set splitting as graph bipartitioning: nodes
+are cache lines, an edge A→B weighted by how often B is referenced
+right after A, and the objective is a balanced split minimising the cut
+(= the transition frequency).  That problem is NP-hard; the affinity
+algorithm is an online heuristic for it.  This package provides the
+offline comparators:
+
+* :mod:`repro.partition.graph` -- build the transition graph from a
+  reference stream,
+* :mod:`repro.partition.kernighan_lin` -- the classic Kernighan-Lin
+  bipartitioning heuristic [13],
+* :mod:`repro.partition.static` -- trivial baselines (random, modulo,
+  address-halving),
+* :mod:`repro.partition.metrics` -- cut size, balance, and measured
+  transition frequency of a partition against a stream.
+"""
+
+from repro.partition.graph import TransitionGraph, build_transition_graph
+from repro.partition.kernighan_lin import kernighan_lin_bipartition
+from repro.partition.metrics import (
+    PartitionQuality,
+    evaluate_partition,
+    replay_transition_frequency,
+)
+from repro.partition.static import (
+    address_halving_split,
+    modulo_split,
+    random_split,
+)
+
+__all__ = [
+    "PartitionQuality",
+    "TransitionGraph",
+    "address_halving_split",
+    "build_transition_graph",
+    "evaluate_partition",
+    "kernighan_lin_bipartition",
+    "modulo_split",
+    "random_split",
+    "replay_transition_frequency",
+]

@@ -1,0 +1,79 @@
+"""The working-set transition graph (paper section 3.1).
+
+"Let us consider a graph which nodes are the static cache lines
+constituting the program working-set.  An edge from line A to line B
+means that line B may be referenced just after line A, the edge being
+weighted with its frequency of occurrence."
+
+The graph is undirected for partitioning purposes (a transition costs
+the same in both directions).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, Set, Tuple
+
+
+class TransitionGraph:
+    """Weighted undirected graph over cache lines."""
+
+    def __init__(self) -> None:
+        self._adjacency: "Dict[int, Counter]" = defaultdict(Counter)
+        self.total_weight = 0
+
+    @property
+    def nodes(self) -> "Set[int]":
+        return set(self._adjacency)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adjacency)
+
+    def add_transition(self, a: int, b: int, weight: int = 1) -> None:
+        """Record that ``b`` was referenced just after ``a``."""
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        if a == b:
+            self._adjacency[a]  # self-transitions never cross a cut; track the node
+            return
+        self._adjacency[a][b] += weight
+        self._adjacency[b][a] += weight
+        self.total_weight += weight
+
+    def weight(self, a: int, b: int) -> int:
+        return self._adjacency.get(a, Counter()).get(b, 0)
+
+    def neighbors(self, node: int) -> "Dict[int, int]":
+        return dict(self._adjacency.get(node, Counter()))
+
+    def degree(self, node: int) -> int:
+        """Total edge weight incident to ``node``."""
+        return sum(self._adjacency.get(node, Counter()).values())
+
+    def cut_weight(self, side_a: "Set[int]") -> int:
+        """Total weight of edges with exactly one endpoint in ``side_a``."""
+        cut = 0
+        for node in side_a:
+            for other, weight in self._adjacency.get(node, Counter()).items():
+                if other not in side_a:
+                    cut += weight
+        return cut
+
+    def edges(self) -> "Iterable[Tuple[int, int, int]]":
+        """Each undirected edge once, as ``(a, b, weight)`` with a < b."""
+        for a, counter in self._adjacency.items():
+            for b, weight in counter.items():
+                if a < b:
+                    yield a, b, weight
+
+
+def build_transition_graph(references: "Iterable[int]") -> TransitionGraph:
+    """Build the transition graph of a reference stream (line addresses)."""
+    graph = TransitionGraph()
+    previous = None
+    for line in references:
+        if previous is not None:
+            graph.add_transition(previous, line)
+        previous = line
+    return graph

@@ -1,0 +1,79 @@
+"""Partition-quality metrics.
+
+Quality has two axes (paper section 3.1): **balance** (the subsets
+should be the same size, since each maps to one core's L2) and **cut**
+(transitions between subsets should be rare).  The cut can be computed
+on the transition graph or measured directly by replaying the stream
+against a fixed assignment — the two agree by construction, and the
+replay form also works for online algorithms whose assignment changes
+over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Set
+
+from repro.partition.graph import TransitionGraph
+
+
+@dataclass(frozen=True)
+class PartitionQuality:
+    """Cut + balance summary of a bipartition."""
+
+    cut_weight: int
+    total_weight: int
+    size_a: int
+    size_b: int
+
+    @property
+    def cut_fraction(self) -> float:
+        """Fraction of transition weight crossing the cut (0 = perfect)."""
+        if self.total_weight == 0:
+            return 0.0
+        return self.cut_weight / self.total_weight
+
+    @property
+    def balance(self) -> float:
+        """max-side share: 0.5 = perfectly balanced, 1.0 = degenerate."""
+        total = self.size_a + self.size_b
+        if total == 0:
+            return 0.5
+        return max(self.size_a, self.size_b) / total
+
+
+def evaluate_partition(
+    graph: TransitionGraph, side_a: "Set[int]", side_b: "Set[int]"
+) -> PartitionQuality:
+    """Quality of a static bipartition against a transition graph."""
+    overlap = side_a & side_b
+    if overlap:
+        raise ValueError(f"sides overlap on {len(overlap)} nodes")
+    return PartitionQuality(
+        cut_weight=graph.cut_weight(side_a),
+        total_weight=graph.total_weight,
+        size_a=len(side_a),
+        size_b=len(side_b),
+    )
+
+
+def replay_transition_frequency(
+    references: "Iterable[int]", subset_of: "Callable[[int], int]"
+) -> float:
+    """Fraction of consecutive reference pairs that change subset.
+
+    ``subset_of`` maps a line to its subset id; works for static
+    partitions (closure over a set) and for oracle assignments alike.
+    """
+    transitions = 0
+    count = 0
+    previous = None
+    for line in references:
+        subset = subset_of(line)
+        if previous is not None and subset != previous:
+            transitions += 1
+        previous = subset
+        count += 1
+    if count <= 1:
+        return 0.0
+    return transitions / (count - 1)

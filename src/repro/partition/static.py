@@ -1,0 +1,46 @@
+"""Trivial static partitioning baselines.
+
+These give the floor the affinity algorithm must beat:
+
+* :func:`random_split` — each line assigned by coin flip: on *any*
+  working set the expected transition frequency is 1/2 (the paper's
+  unsplittable bound, section 3.4);
+* :func:`modulo_split` — line address parity, the hardware-trivial
+  interleaving every banked cache uses;
+* :func:`address_halving_split` — below-median vs above-median
+  addresses; wins when the program's layout happens to match its phase
+  structure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+from repro.common.rng import make_rng
+
+
+def random_split(
+    lines: "Iterable[int]", seed: "int | None" = 0
+) -> "Tuple[Set[int], Set[int]]":
+    """Balanced uniform-random bipartition."""
+    ordered = sorted(set(lines))
+    rng = make_rng(seed)
+    rng.shuffle(ordered)
+    half = len(ordered) // 2
+    return set(ordered[:half]), set(ordered[half:])
+
+
+def modulo_split(lines: "Iterable[int]") -> "Tuple[Set[int], Set[int]]":
+    """Bipartition by line-address parity (bank interleaving)."""
+    even = set()
+    odd = set()
+    for line in set(lines):
+        (even if line % 2 == 0 else odd).add(line)
+    return even, odd
+
+
+def address_halving_split(lines: "Iterable[int]") -> "Tuple[Set[int], Set[int]]":
+    """Bipartition at the median line address."""
+    ordered = sorted(set(lines))
+    half = len(ordered) // 2
+    return set(ordered[:half]), set(ordered[half:])

@@ -1,0 +1,105 @@
+"""L1 front-end filters.
+
+Section 4.1: "We work with a stream of references that is filtered by a
+16-Kbyte DL1 cache and a 16-Kbyte IL1 cache, both fully-associative with
+LRU replacement.  Each reference consists of a cache line address,
+assuming 64-byte lines."  The migration controller, the LRU stack
+profiles, and the offline partitioning baselines all consume this
+*L1-miss stream*, never the raw trace.
+
+:class:`L1Filter` turns an :class:`~repro.traces.trace.Access` stream
+into a stream of :class:`FilteredReference` records (one per L1 miss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, NamedTuple
+
+from repro.caches.fully_assoc import FullyAssociativeCache
+from repro.caches.set_assoc import SetAssociativeCache
+from repro.traces.trace import Access, AccessKind
+
+
+class FilteredReference(NamedTuple):
+    """One L1 miss: the line address, referencing instruction and kind."""
+
+    line: int
+    instruction: int
+    kind: AccessKind
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is AccessKind.STORE
+
+
+@dataclass(frozen=True)
+class L1FilterConfig:
+    """Geometry of the filtering L1s (defaults = paper section 4.1)."""
+
+    line_size: int = 64
+    il1_bytes: int = 16 * 1024
+    dl1_bytes: int = 16 * 1024
+    ways: int = 0  #: 0 = fully-associative (the section 4.1 setting)
+    store_allocate: bool = True
+    """Whether stores allocate in the DL1.  Section 4.1 does "not
+    distinguish between loads and stores", i.e. stores behave as loads;
+    set ``False`` for the section 4.2 write-through/non-write-allocate
+    behaviour."""
+
+
+class L1Filter:
+    """Filter a raw access trace through IL1 + DL1, yielding L1 misses."""
+
+    def __init__(self, config: "L1FilterConfig | None" = None) -> None:
+        self.config = config or L1FilterConfig()
+        self.il1 = self._make_cache(self.config.il1_bytes)
+        self.dl1 = self._make_cache(self.config.dl1_bytes)
+        self.accesses = 0
+        self.il1_misses = 0
+        self.dl1_misses = 0
+        self.instructions = 0
+
+    def _make_cache(self, capacity_bytes: int):
+        if self.config.ways == 0:
+            return FullyAssociativeCache.from_bytes(
+                capacity_bytes, self.config.line_size
+            )
+        return SetAssociativeCache.from_bytes(
+            capacity_bytes, self.config.line_size, self.config.ways
+        )
+
+    @property
+    def l1_misses(self) -> int:
+        return self.il1_misses + self.dl1_misses
+
+    def filter_one(self, access: Access) -> "FilteredReference | None":
+        """Run one access; return its L1 miss, or ``None`` on a hit."""
+        self.accesses += 1
+        if access.instruction >= self.instructions:
+            self.instructions = access.instruction + 1
+        line = access.address // self.config.line_size
+        kind = access.kind
+        if kind is AccessKind.FETCH:
+            if not self.il1.access(line):
+                self.il1_misses += 1
+                return FilteredReference(line, access.instruction, kind)
+        elif kind is AccessKind.LOAD:
+            if not self.dl1.access(line):
+                self.dl1_misses += 1
+                return FilteredReference(line, access.instruction, kind)
+        else:
+            hit = self.dl1.access(
+                line, write=True, allocate=self.config.store_allocate
+            )
+            if not hit:
+                self.dl1_misses += 1
+                return FilteredReference(line, access.instruction, kind)
+        return None
+
+    def filter(self, accesses: Iterable[Access]) -> Iterator[FilteredReference]:
+        """Yield one :class:`FilteredReference` per L1 miss in the trace."""
+        for access in accesses:
+            miss = self.filter_one(access)
+            if miss is not None:
+                yield miss

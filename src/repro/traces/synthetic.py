@@ -1,0 +1,282 @@
+"""Synthetic working-set behaviours (paper section 3.3).
+
+The paper studies the affinity algorithm on two reference behaviours:
+
+* ``Circular`` -- the infinite stream ``0, 1, ..., N-1, 0, 1, ...``.
+  "Many applications exhibit this kind of working-set behavior,
+  especially after filtering by a L1 cache."
+* ``HalfRandom(m)`` -- ``m`` uniform-random elements from the lower half
+  of ``[0, N)``, then ``m`` from the upper half, alternating forever.
+
+This module implements both, plus the additional behaviours needed by
+the calibrated SPEC-like models: uniform random (the canonical
+*unsplittable* working set, section 3.4), constant stride (section 3.5
+motivates the prime sampling modulus with these), interleaved streams,
+phase-alternating mixtures, and replay of explicit sequences.
+
+All behaviours implement the :class:`repro.traces.trace.LineStream`
+protocol — they yield abstract element identifiers.  Use
+:func:`behavior_trace` to lift one into a byte-addressed
+:class:`~repro.traces.trace.Access` trace.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+from repro.common.rng import make_rng
+from repro.traces.trace import Access, AccessKind
+
+
+class Circular:
+    """The stream ``0, 1, ..., N-1, 0, 1, ...`` over ``num_lines`` elements."""
+
+    def __init__(self, num_lines: int, start: int = 0) -> None:
+        if num_lines <= 0:
+            raise ValueError(f"num_lines must be positive, got {num_lines}")
+        if not 0 <= start < num_lines:
+            raise ValueError(f"start {start} outside [0, {num_lines})")
+        self.num_lines = num_lines
+        self.start = start
+        self.name = f"circular-{num_lines}"
+
+    def addresses(self, count: int) -> Iterator[int]:
+        n = self.num_lines
+        e = self.start
+        for _ in range(count):
+            yield e
+            e += 1
+            if e == n:
+                e = 0
+
+
+class HalfRandom:
+    """HalfRandom(m): bursts of ``m`` uniform picks alternating between the
+    lower half ``[0, N/2)`` and the upper half ``[N/2, N)`` of the set."""
+
+    def __init__(self, num_lines: int, burst: int, seed: "int | None" = 0) -> None:
+        if num_lines < 2 or num_lines % 2:
+            raise ValueError(f"num_lines must be even and >= 2, got {num_lines}")
+        if burst <= 0:
+            raise ValueError(f"burst must be positive, got {burst}")
+        self.num_lines = num_lines
+        self.burst = burst
+        self.seed = seed
+        self.name = f"halfrandom-{num_lines}-m{burst}"
+
+    def addresses(self, count: int) -> Iterator[int]:
+        rng = make_rng(self.seed)
+        half = self.num_lines // 2
+        produced = 0
+        lower = True
+        while produced < count:
+            take = min(self.burst, count - produced)
+            base = 0 if lower else half
+            for value in rng.integers(0, half, size=take):
+                yield base + int(value)
+            produced += take
+            lower = not lower
+
+
+class UniformRandom:
+    """Uniform random picks over ``[0, num_lines)`` -- the canonical
+    *unsplittable* working set of paper section 3.4."""
+
+    def __init__(self, num_lines: int, seed: "int | None" = 0) -> None:
+        if num_lines <= 0:
+            raise ValueError(f"num_lines must be positive, got {num_lines}")
+        self.num_lines = num_lines
+        self.seed = seed
+        self.name = f"random-{num_lines}"
+
+    def addresses(self, count: int) -> Iterator[int]:
+        rng = make_rng(self.seed)
+        remaining = count
+        while remaining > 0:
+            chunk = min(remaining, 65536)
+            for value in rng.integers(0, self.num_lines, size=chunk):
+                yield int(value)
+            remaining -= chunk
+
+
+class Stride:
+    """Constant-stride sweep over ``[0, num_lines)``.
+
+    Section 3.5 chooses a prime sampling modulus precisely because
+    "constant-stride reference streams ... are frequent"; this behaviour
+    exists to exercise that interaction.
+    """
+
+    def __init__(self, num_lines: int, stride: int = 1, start: int = 0) -> None:
+        if num_lines <= 0:
+            raise ValueError(f"num_lines must be positive, got {num_lines}")
+        if stride == 0:
+            raise ValueError("stride must be non-zero")
+        self.num_lines = num_lines
+        self.stride = stride
+        self.start = start % num_lines
+        self.name = f"stride-{num_lines}-s{stride}"
+
+    def addresses(self, count: int) -> Iterator[int]:
+        n = self.num_lines
+        e = self.start
+        s = self.stride
+        for _ in range(count):
+            yield e
+            e = (e + s) % n
+
+
+class PermutationCycle:
+    """Cyclic traversal of a fixed random permutation of ``[0, num_lines)``.
+
+    Models pointer chasing over a linked data structure whose layout is
+    random but *stable*: the visit order repeats, so the behaviour is a
+    Circular working set in disguise — splittable by the affinity
+    algorithm even though addresses look random (the paper's 181.mcf is
+    the motivating case).
+    """
+
+    def __init__(self, num_lines: int, seed: "int | None" = 0) -> None:
+        if num_lines <= 0:
+            raise ValueError(f"num_lines must be positive, got {num_lines}")
+        self.num_lines = num_lines
+        self.seed = seed
+        self.name = f"permcycle-{num_lines}"
+        self._order = make_rng(seed).permutation(num_lines)
+
+    def addresses(self, count: int) -> Iterator[int]:
+        order = self._order
+        n = self.num_lines
+        position = 0
+        for _ in range(count):
+            yield int(order[position])
+            position += 1
+            if position == n:
+                position = 0
+
+
+class SequenceBehavior:
+    """Replay an explicit element sequence cyclically."""
+
+    def __init__(self, sequence: Sequence[int], name: str = "sequence") -> None:
+        if not sequence:
+            raise ValueError("sequence must be non-empty")
+        self._sequence = list(sequence)
+        self.num_lines = max(self._sequence) + 1
+        self.name = name
+
+    def addresses(self, count: int) -> Iterator[int]:
+        return itertools.islice(itertools.cycle(self._sequence), count)
+
+
+class PhaseAlternating:
+    """Alternate between child behaviours in fixed-length phases.
+
+    ``phases`` is a list of ``(behavior, phase_length)`` pairs; the
+    stream cycles through them.  Child element identifiers are offset so
+    that distinct children use disjoint identifier ranges (set
+    ``disjoint=False`` to share the range instead, modelling phases over
+    the *same* data).
+    """
+
+    def __init__(
+        self,
+        phases: "Sequence[tuple[object, int]]",
+        disjoint: bool = True,
+        name: str = "phases",
+    ) -> None:
+        if not phases:
+            raise ValueError("need at least one phase")
+        self._phases = []
+        offset = 0
+        for behavior, length in phases:
+            if length <= 0:
+                raise ValueError(f"phase length must be positive, got {length}")
+            self._phases.append((behavior, length, offset if disjoint else 0))
+            if disjoint:
+                offset += behavior.num_lines
+        self.num_lines = offset if disjoint else max(b.num_lines for b, _ in phases)
+        self.name = name
+
+    def addresses(self, count: int) -> Iterator[int]:
+        iterators = [
+            (behavior.addresses(count), length, offset)
+            for behavior, length, offset in self._phases
+        ]
+        produced = 0
+        while produced < count:
+            for iterator, length, offset in iterators:
+                take = min(length, count - produced)
+                for _ in range(take):
+                    yield next(iterator) + offset
+                produced += take
+                if produced >= count:
+                    return
+
+
+class InterleavedStreams:
+    """Interleave child behaviours reference-by-reference with weights.
+
+    Each output element is drawn from child ``i`` with probability
+    proportional to ``weights[i]``.  Children use disjoint identifier
+    ranges.  This models a program mixing, e.g., a circular sweep with a
+    random-access hash table.
+    """
+
+    def __init__(
+        self,
+        behaviors: Sequence[object],
+        weights: "Sequence[float] | None" = None,
+        seed: "int | None" = 0,
+        name: str = "interleaved",
+    ) -> None:
+        if not behaviors:
+            raise ValueError("need at least one behaviour")
+        self._behaviors = list(behaviors)
+        if weights is None:
+            weights = [1.0] * len(behaviors)
+        if len(weights) != len(behaviors):
+            raise ValueError("weights and behaviors must have the same length")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self._probabilities = [w / total for w in weights]
+        self._offsets = []
+        offset = 0
+        for behavior in self._behaviors:
+            self._offsets.append(offset)
+            offset += behavior.num_lines
+        self.num_lines = offset
+        self.seed = seed
+        self.name = name
+
+    def addresses(self, count: int) -> Iterator[int]:
+        rng = make_rng(self.seed)
+        iterators = [b.addresses(count) for b in self._behaviors]
+        choices = rng.choice(len(iterators), size=count, p=self._probabilities)
+        for which in choices:
+            yield next(iterators[which]) + self._offsets[which]
+
+
+def behavior_trace(
+    behavior: object,
+    count: int,
+    line_size: int = 64,
+    instructions_per_access: int = 3,
+    base_address: int = 0,
+    kind: AccessKind = AccessKind.LOAD,
+) -> Iterator[Access]:
+    """Lift a :class:`LineStream` into a byte-addressed access trace.
+
+    Each element identifier becomes one access to the first byte of the
+    corresponding line; the dynamic instruction index advances by
+    ``instructions_per_access`` per reference (the paper's workloads
+    average roughly 2-5 instructions per memory access, Table 1).
+    """
+    if instructions_per_access <= 0:
+        raise ValueError("instructions_per_access must be positive")
+    instruction = 0
+    for element in behavior.addresses(count):
+        yield Access(base_address + element * line_size, kind, instruction)
+        instruction += instructions_per_access

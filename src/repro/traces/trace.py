@@ -1,0 +1,127 @@
+"""The trace model: instruction-indexed memory references.
+
+A *trace* is an iterable of :class:`Access` records.  Each access carries
+a byte address, a kind (instruction fetch, load, or store) and the
+dynamic instruction index at which it occurred, so that every metric the
+paper reports per instruction ("instructions per L2 miss", Table 2) can
+be recovered from a scaled-down run.
+
+Synthetic behaviours (paper section 3.3) work directly on abstract
+*element identifiers*; :class:`LineStream` is the light-weight protocol
+they implement, and :func:`repro.traces.synthetic.behavior_trace` lifts a
+line stream into a full byte-addressed trace.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, NamedTuple, Protocol, runtime_checkable
+
+
+class AccessKind(enum.IntEnum):
+    """Type of a memory reference."""
+
+    FETCH = 0  #: instruction fetch (goes through the IL1)
+    LOAD = 1  #: data read (goes through the DL1)
+    STORE = 2  #: data write (write-through DL1)
+
+
+class Access(NamedTuple):
+    """One memory reference.
+
+    ``address`` is a byte address; ``instruction`` is the dynamic
+    instruction index of the referencing instruction (monotone
+    non-decreasing along a trace).
+    """
+
+    address: int
+    kind: AccessKind = AccessKind.LOAD
+    instruction: int = 0
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is AccessKind.STORE
+
+    @property
+    def is_fetch(self) -> bool:
+        return self.kind is AccessKind.FETCH
+
+
+def line_address(address: int, line_size: int) -> int:
+    """Map a byte address to its cache-line address (line index)."""
+    return address // line_size
+
+
+@runtime_checkable
+class TraceSource(Protocol):
+    """Anything that can produce an :class:`Access` stream.
+
+    Implementations also expose ``name`` (for reports) and
+    ``instruction_count`` *after* the trace has been fully generated
+    (some sources only know it post hoc).
+    """
+
+    name: str
+
+    def accesses(self) -> Iterator[Access]:
+        """Yield the trace.  May be called more than once; each call
+        restarts the trace deterministically."""
+        ...
+
+
+@runtime_checkable
+class LineStream(Protocol):
+    """Abstract element-identifier stream used by paper section 3.3.
+
+    Elements are small integers in ``[0, num_lines)``; the affinity
+    algorithm treats them as cache lines.
+    """
+
+    name: str
+    num_lines: int
+
+    def addresses(self, count: int) -> Iterator[int]:
+        """Yield ``count`` element identifiers."""
+        ...
+
+
+@dataclass
+class TraceStats:
+    """Counts accumulated over a trace."""
+
+    accesses: int = 0
+    fetches: int = 0
+    loads: int = 0
+    stores: int = 0
+    instructions: int = 0
+    distinct_lines: int = 0
+    _lines: set = field(default_factory=set, repr=False)
+
+    def record(self, access: Access, line_size: int = 64) -> None:
+        self.accesses += 1
+        if access.kind is AccessKind.FETCH:
+            self.fetches += 1
+        elif access.kind is AccessKind.LOAD:
+            self.loads += 1
+        else:
+            self.stores += 1
+        if access.instruction >= self.instructions:
+            self.instructions = access.instruction + 1
+        line = line_address(access.address, line_size)
+        if line not in self._lines:
+            self._lines.add(line)
+            self.distinct_lines += 1
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Working-set footprint assuming 64-byte lines by default use."""
+        return self.distinct_lines * 64
+
+
+def measure_trace(accesses: Iterable[Access], line_size: int = 64) -> TraceStats:
+    """Consume a trace and return its :class:`TraceStats`."""
+    stats = TraceStats()
+    for access in accesses:
+        stats.record(access, line_size)
+    return stats

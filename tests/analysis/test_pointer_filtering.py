@@ -1,0 +1,34 @@
+"""Pointer-load filtering (paper section 6, future work)."""
+
+from repro.analysis.pointer_filtering import run_pointer_filtering
+from repro.olden.bisort import bisort
+from repro.olden.em3d import em3d
+
+
+class TestPointerTagging:
+    def test_olden_traces_contain_pointer_accesses(self):
+        trace = em3d(num_nodes=64, degree=4, timesteps=2)
+        assert 0 < trace.pointer_load_count < len(trace)
+
+    def test_flags_align_with_accesses(self):
+        trace = bisort(size=64)
+        pairs = list(trace.accesses_with_pointer_flags())
+        assert len(pairs) == len(trace)
+        assert sum(flag for _a, flag in pairs) == trace.pointer_load_count
+
+
+class TestPointerFiltering:
+    def test_gating_reduces_transitions(self):
+        """Updating the filter only on pointer accesses can only reduce
+        (or keep) the number of transitions."""
+        trace = em3d(num_nodes=256, degree=6, timesteps=4)
+        result = run_pointer_filtering(trace)
+        assert result.references > 0
+        assert 0.0 < result.pointer_fraction < 1.0
+        assert result.transitions_pointer_only <= result.transitions_unfiltered
+
+    def test_result_metrics(self):
+        trace = bisort(size=512)
+        result = run_pointer_filtering(trace)
+        assert result.name == "bisort"
+        assert 0.0 <= result.suppression <= 1.0

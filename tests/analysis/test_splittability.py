@@ -1,0 +1,33 @@
+"""Splittability metrics."""
+
+from repro.analysis.splittability import profile_gap, splittability_report
+from repro.analysis.stack_profiles import run_stack_experiment
+from repro.traces.synthetic import Circular, UniformRandom
+
+
+class TestProfileGap:
+    def test_circular_has_large_gap(self):
+        result = run_stack_experiment(Circular(2000).addresses(600_000))
+        assert profile_gap(result) > 0.3
+
+    def test_random_has_small_gap(self):
+        result = run_stack_experiment(
+            UniformRandom(2000, seed=1).addresses(300_000)
+        )
+        assert profile_gap(result) < 0.05
+
+
+class TestReport:
+    def test_circular_classified_splittable(self):
+        result = run_stack_experiment(
+            Circular(2000).addresses(600_000), name="circ"
+        )
+        report = splittability_report(result)
+        assert report.splittable
+        assert report.name == "circ"
+
+    def test_random_classified_unsplittable(self):
+        result = run_stack_experiment(
+            UniformRandom(2000, seed=1).addresses(300_000), name="rand"
+        )
+        assert not splittability_report(result).splittable

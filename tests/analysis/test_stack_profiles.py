@@ -1,0 +1,59 @@
+"""The section 4.1 stack-profile experiment."""
+
+import pytest
+
+from repro.analysis.stack_profiles import (
+    PAPER_CACHE_SIZE_LABELS,
+    PAPER_CACHE_SIZES_LINES,
+    run_stack_experiment,
+)
+from repro.core.controller import ControllerConfig
+from repro.traces.synthetic import Circular, UniformRandom
+
+
+class TestPaperSizes:
+    def test_sizes_are_16k_to_16m(self):
+        assert PAPER_CACHE_SIZES_LINES[0] * 64 == 16 * 1024
+        assert PAPER_CACHE_SIZES_LINES[-1] * 64 == 16 * 1024 * 1024
+        assert len(PAPER_CACHE_SIZES_LINES) == len(PAPER_CACHE_SIZE_LABELS)
+
+
+class TestExperiment:
+    def test_reference_counts(self):
+        result = run_stack_experiment(Circular(100).addresses(5000))
+        assert result.references == 5000
+        assert result.p1.total == 5000
+        assert result.p4.total == 5000
+
+    def test_p4_splits_references_across_stacks(self):
+        result = run_stack_experiment(Circular(2000).addresses(400_000))
+        populated = sum(1 for p in result.per_stack if p.total > 0)
+        assert populated >= 2
+
+    def test_splittable_circular_reduces_p4(self):
+        """Circular(2000) = 125 KB: p1 misses a 64 KB cache badly, the
+        4-way split fits each quarter into 64 KB (1024 lines)."""
+        result = run_stack_experiment(Circular(2000).addresses(600_000))
+        p1_64k = result.p1.fraction_deeper(1024)
+        p4_64k = result.p4.fraction_deeper(1024)
+        assert p1_64k > 0.9  # 2000 lines >> 1024
+        assert p4_64k < 0.5  # quarters (~500 lines) fit
+
+    def test_random_set_shows_no_gap(self):
+        result = run_stack_experiment(
+            UniformRandom(2000, seed=4).addresses(300_000)
+        )
+        p1_curve, p4_curve = result.curves()
+        for p1_value, p4_value in zip(p1_curve, p4_curve):
+            assert p4_value >= p1_value - 0.05
+
+    def test_transition_frequency_reported(self):
+        result = run_stack_experiment(Circular(2000).addresses(100_000))
+        assert 0.0 <= result.transition_frequency <= 1.0
+
+    def test_custom_config(self):
+        config = ControllerConfig(num_subsets=2, x_window_size=32)
+        result = run_stack_experiment(
+            Circular(500).addresses(50_000), config=config
+        )
+        assert len(result.per_stack) == 2

@@ -1,0 +1,116 @@
+"""Parameter sweeps: the paper's section 3.3-3.5 design claims at
+reduced scale."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    filter_width_sweep,
+    rwindow_sweep,
+    sampling_sweep,
+)
+from repro.core.controller import ControllerConfig
+from repro.traces.synthetic import Circular, HalfRandom, UniformRandom
+
+
+class TestRWindowSweep:
+    def test_circular_splits_iff_working_set_exceeds_twice_window(self):
+        """Section 3.3: 'the algorithm is able to split a Circular
+        working-set if N > 2|R|, but not if N <= 2|R|'."""
+        points = rwindow_sweep(
+            lambda: Circular(400),
+            window_sizes=[50, 100, 400],
+            num_references=400_000,
+        )
+        by_window = {p.window_size: p for p in points}
+        assert by_window[50].split_achieved  # N = 8|R|
+        assert by_window[100].split_achieved  # N = 4|R| > 2|R|
+        assert not by_window[400].split_achieved  # N = |R| <= 2|R|
+
+    def test_tail_frequency_bounded_by_half_window(self):
+        """Section 3.3: after enough time the transition frequency never
+        exceeds one transition every 2|R| references."""
+        points = rwindow_sweep(
+            lambda: Circular(800),
+            window_sizes=[40, 80],
+            num_references=600_000,
+        )
+        for point in points:
+            assert point.tail_frequency <= 1.0 / (2 * point.window_size) * 1.5
+
+
+class TestFilterWidthSweep:
+    def test_wider_filter_fewer_transitions_on_random_set(self):
+        """Section 3.4 qualitatively, end to end: adding filter bits
+        reduces the transition frequency on an unsplittable set."""
+        points = filter_width_sweep(
+            lambda: UniformRandom(3000, seed=9),
+            filter_bits_list=[16, 17, 18],
+            num_references=500_000,
+        )
+        frequencies = [p.tail_frequency for p in points]
+        assert frequencies[0] > frequencies[1] > frequencies[2] > 0
+
+    def test_halving_law_with_saturated_affinities(self):
+        """Section 3.4 exactly, at the filter level: with affinities
+        saturated at ±2^15 with probability 1/2, the transition
+        frequency is 1/2^(1+f-16)."""
+        from repro.common.rng import make_rng
+        from repro.core.transition_filter import TransitionFilter
+
+        rng = make_rng(11)
+        steps = [int(s) for s in rng.choice([-(1 << 15), 1 << 15], size=300_000)]
+        for bits, expected in ((17, 1 / 4), (18, 1 / 8), (20, 1 / 32)):
+            f = TransitionFilter(bits)
+            flips = 0
+            previous = f.subset
+            for step in steps:
+                subset = f.update(step)
+                if subset != previous:
+                    flips += 1
+                previous = subset
+            assert flips / len(steps) == pytest.approx(expected, rel=0.15), bits
+
+    def test_splittable_set_keeps_transitioning(self):
+        """On HalfRandom the filter delays but does not suppress
+        transitions: frequency stays near 1/m for moderate widths."""
+        points = filter_width_sweep(
+            lambda: HalfRandom(1000, 200, seed=2),
+            filter_bits_list=[16, 18],
+            num_references=400_000,
+            window_size=100,
+        )
+        for point in points:
+            assert point.tail_frequency > 1.0 / (4 * 200)
+
+
+class TestSamplingSweep:
+    def test_fewer_samples_fewer_filter_updates(self):
+        points = sampling_sweep(
+            lambda: Circular(2000),
+            residue_counts=[31, 8, 4],
+            num_references=200_000,
+        )
+        updates = [p.filter_updates for p in points]
+        assert updates[0] > updates[1] > updates[2]
+
+    def test_sample_fractions_reported(self):
+        points = sampling_sweep(
+            lambda: Circular(500),
+            residue_counts=[31, 8],
+            num_references=50_000,
+        )
+        assert points[0].sample_fraction == 1.0
+        assert points[1].sample_fraction == pytest.approx(8 / 31)
+
+    def test_invalid_residue_count(self):
+        with pytest.raises(ValueError):
+            sampling_sweep(lambda: Circular(100), residue_counts=[0])
+
+    def test_respects_base_config(self):
+        points = sampling_sweep(
+            lambda: Circular(500),
+            residue_counts=[8],
+            num_references=50_000,
+            config_base=ControllerConfig(num_subsets=2, filter_bits=14),
+        )
+        assert len(points) == 1

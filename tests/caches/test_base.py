@@ -1,0 +1,51 @@
+"""Cache statistics and shared helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.caches.base import CacheStats, check_power_of_two
+from repro.caches.set_assoc import SetAssociativeCache
+from repro.caches.skewed import SkewedAssociativeCache
+
+
+class TestCacheStats:
+    def test_ratios_empty(self):
+        stats = CacheStats()
+        assert stats.miss_ratio == 0.0
+        assert stats.hit_ratio == 0.0
+
+    def test_ratios(self):
+        stats = CacheStats(accesses=10, hits=7, misses=3)
+        assert stats.miss_ratio == pytest.approx(0.3)
+        assert stats.hit_ratio == pytest.approx(0.7)
+
+    def test_merge(self):
+        a = CacheStats(accesses=1, hits=1, misses=0, evictions=2, writebacks=1)
+        b = CacheStats(accesses=2, hits=0, misses=2, evictions=0, writebacks=0)
+        merged = a.merge(b)
+        assert merged.accesses == 3
+        assert merged.evictions == 2
+        assert merged.writebacks == 1
+
+
+class TestPowerOfTwoCheck:
+    def test_accepts_powers(self):
+        for value in (1, 2, 4, 1024):
+            check_power_of_two(value, "x")
+
+    def test_rejects_others(self):
+        for value in (0, 3, 6, -4):
+            with pytest.raises(ValueError):
+                check_power_of_two(value, "x")
+
+
+@given(lines=st.lists(st.integers(min_value=0, max_value=200), max_size=300))
+def test_one_way_skewed_equals_direct_mapped_set_assoc(lines):
+    """Way 0 of the skewed cache uses the plain index, so a 1-way
+    skewed cache and a 1-way set-associative cache are the same
+    machine."""
+    skewed = SkewedAssociativeCache(16, 1)
+    direct = SetAssociativeCache(16, 1)
+    for line in lines:
+        assert skewed.access(line) == direct.access(line)
+    assert sorted(skewed.resident_lines()) == sorted(direct.resident_lines())

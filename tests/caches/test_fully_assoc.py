@@ -1,0 +1,129 @@
+"""Fully-associative LRU cache."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.caches.fully_assoc import FullyAssociativeCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        c = FullyAssociativeCache(4)
+        assert c.access(1) is False
+        assert c.access(1) is True
+
+    def test_capacity_eviction_is_lru(self):
+        c = FullyAssociativeCache(2)
+        c.access(1)
+        c.access(2)
+        c.access(1)  # 2 is now LRU
+        c.access(3)  # evicts 2
+        assert c.last_eviction.line == 2
+        assert 1 in c and 3 in c and 2 not in c
+
+    def test_from_bytes(self):
+        c = FullyAssociativeCache.from_bytes(16 * 1024, 64)
+        assert c.capacity_lines == 256
+
+    def test_from_bytes_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            FullyAssociativeCache.from_bytes(100, 64)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FullyAssociativeCache(0)
+
+    def test_stats_counting(self):
+        c = FullyAssociativeCache(2)
+        c.access(1)
+        c.access(1)
+        c.access(2)
+        assert c.stats.accesses == 3
+        assert c.stats.hits == 1
+        assert c.stats.misses == 2
+
+
+class TestWriteBehaviour:
+    def test_write_marks_dirty(self):
+        c = FullyAssociativeCache(2)
+        c.access(1, write=True)
+        assert c.is_dirty(1)
+
+    def test_read_does_not_mark_dirty(self):
+        c = FullyAssociativeCache(2)
+        c.access(1)
+        assert not c.is_dirty(1)
+
+    def test_write_hit_marks_dirty(self):
+        c = FullyAssociativeCache(2)
+        c.access(1)
+        c.access(1, write=True)
+        assert c.is_dirty(1)
+
+    def test_non_allocate_miss_leaves_cache(self):
+        c = FullyAssociativeCache(2)
+        assert c.access(1, write=True, allocate=False) is False
+        assert 1 not in c
+
+    def test_dirty_eviction_counts_writeback(self):
+        c = FullyAssociativeCache(1)
+        c.access(1, write=True)
+        c.access(2)
+        assert c.stats.writebacks == 1
+        assert c.last_eviction.dirty is True
+
+
+class TestFillAndUpdate:
+    def test_fill_does_not_count_access(self):
+        c = FullyAssociativeCache(2)
+        c.fill(1)
+        assert c.stats.accesses == 0
+        assert 1 in c
+
+    def test_fill_refreshes_recency(self):
+        c = FullyAssociativeCache(2)
+        c.access(1)
+        c.access(2)
+        c.fill(1)  # 1 becomes MRU
+        c.access(3)  # evicts 2
+        assert 1 in c and 2 not in c
+
+    def test_update_if_present(self):
+        c = FullyAssociativeCache(2)
+        assert c.update_if_present(1) is False
+        c.access(1)
+        assert c.update_if_present(1) is True
+        assert c.is_dirty(1)
+
+    def test_invalidate(self):
+        c = FullyAssociativeCache(2)
+        c.access(1)
+        assert c.invalidate(1) is True
+        assert 1 not in c
+        assert c.invalidate(1) is False
+
+    def test_resident_lines_in_lru_order(self):
+        c = FullyAssociativeCache(3)
+        for line in (5, 6, 7):
+            c.access(line)
+        c.access(5)
+        assert c.resident_lines() == [6, 7, 5]
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    lines=st.lists(st.integers(min_value=0, max_value=15), max_size=200),
+)
+def test_matches_naive_lru(capacity, lines):
+    """Cross-check against an explicit list-based LRU simulation."""
+    cache = FullyAssociativeCache(capacity)
+    naive: "list[int]" = []  # most recent last
+    for line in lines:
+        expected_hit = line in naive
+        assert cache.access(line) == expected_hit
+        if expected_hit:
+            naive.remove(line)
+        elif len(naive) >= capacity:
+            naive.pop(0)
+        naive.append(line)
+    assert cache.resident_lines() == naive

@@ -1,0 +1,161 @@
+"""Mattson stack-distance profiler: exactness and the inclusion property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.caches.fully_assoc import FullyAssociativeCache
+from repro.caches.lru_stack import LruStack, StackProfile
+
+
+def naive_stack_depth(history: "list[int]", line: int) -> "int | None":
+    """Reference: 1 + number of distinct lines since the previous access."""
+    for i in range(len(history) - 1, -1, -1):
+        if history[i] == line:
+            return len(set(history[i + 1 :])) + 1
+    return None
+
+
+class TestLruStack:
+    def test_first_touch_is_infinite(self):
+        assert LruStack().access(1) is None
+
+    def test_immediate_rereference_depth_one(self):
+        s = LruStack()
+        s.access(1)
+        assert s.access(1) == 1
+
+    def test_classic_sequence(self):
+        s = LruStack()
+        for line in (1, 2, 3):
+            s.access(line)
+        assert s.access(1) == 3  # 2 distinct lines since, +1
+
+    def test_duplicates_do_not_inflate_depth(self):
+        s = LruStack()
+        s.access(1)
+        s.access(2)
+        s.access(2)
+        s.access(2)
+        assert s.access(1) == 2
+
+    def test_compaction_preserves_depths(self):
+        s = LruStack(initial_capacity=8)
+        # Drive far past the initial capacity to force compactions.
+        for lap in range(50):
+            for line in range(5):
+                depth = s.access(line)
+                if lap > 0:
+                    assert depth == 5
+        assert s.distinct_lines == 5
+
+    def test_depth_of_peeks_without_recording(self):
+        s = LruStack()
+        s.access(1)
+        s.access(2)
+        assert s.depth_of(1) == 2
+        assert s.references == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LruStack(initial_capacity=0)
+
+
+@settings(max_examples=60)
+@given(
+    lines=st.lists(st.integers(min_value=0, max_value=12), max_size=120),
+)
+def test_matches_naive_depths(lines):
+    stack = LruStack(initial_capacity=4)  # tiny: exercises compaction
+    history: "list[int]" = []
+    for line in lines:
+        assert stack.access(line) == naive_stack_depth(history, line)
+        history.append(line)
+
+
+@settings(max_examples=40)
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    lines=st.lists(st.integers(min_value=0, max_value=15), max_size=150),
+)
+def test_inclusion_property_vs_lru_cache(capacity, lines):
+    """A fully-associative LRU cache of C lines hits iff depth <= C —
+    the Mattson inclusion property linking stacks to caches."""
+    stack = LruStack()
+    cache = FullyAssociativeCache(capacity)
+    for line in lines:
+        depth = stack.access(line)
+        hit = cache.access(line)
+        assert hit == (depth is not None and depth <= capacity)
+
+
+class TestStackProfile:
+    def test_fraction_deeper_basics(self):
+        p = StackProfile()
+        for depth in (1, 2, 3, None):
+            p.record(depth)
+        assert p.fraction_deeper(0) == 1.0
+        assert p.fraction_deeper(2) == pytest.approx(0.5)
+        assert p.fraction_deeper(100) == pytest.approx(0.25)  # the cold ref
+
+    def test_empty_profile(self):
+        assert StackProfile().fraction_deeper(10) == 0.0
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            StackProfile().record(0)
+
+    def test_merge(self):
+        a = StackProfile()
+        a.record(1)
+        a.record(None)
+        b = StackProfile()
+        b.record(5)
+        merged = a.merge(b)
+        assert merged.total == 3
+        assert merged.cold == 1
+        assert merged.fraction_deeper(4) == pytest.approx(2 / 3)
+
+    def test_merge_all(self):
+        profiles = []
+        for depth in (1, 2, 3):
+            p = StackProfile()
+            p.record(depth)
+            profiles.append(p)
+        merged = StackProfile.merge_all(profiles)
+        assert merged.total == 3
+
+    def test_miss_ratio_curve_monotone(self):
+        p = StackProfile()
+        for depth in (1, 5, 9, 20, None, None):
+            p.record(depth)
+        curve = p.miss_ratio_curve([1, 4, 8, 16, 32])
+        assert curve == sorted(curve, reverse=True)
+
+    def test_record_stream(self):
+        p = StackProfile()
+        p.record_stream([1, None, 2])
+        assert p.total == 3
+
+    def test_index_invalidated_after_record(self):
+        p = StackProfile()
+        p.record(1)
+        assert p.fraction_deeper(1) == 0.0
+        p.record(10)
+        assert p.fraction_deeper(1) == pytest.approx(0.5)
+
+
+@given(
+    depths=st.lists(
+        st.one_of(st.none(), st.integers(min_value=1, max_value=50)),
+        max_size=150,
+    ),
+    threshold=st.integers(min_value=0, max_value=60),
+)
+def test_profile_matches_naive_count(depths, threshold):
+    p = StackProfile()
+    p.record_stream(depths)
+    expected = sum(1 for d in depths if d is None or d > threshold)
+    if depths:
+        assert p.fraction_deeper(threshold) == pytest.approx(
+            expected / len(depths)
+        )

@@ -1,0 +1,97 @@
+"""Set-associative LRU cache."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.caches.fully_assoc import FullyAssociativeCache
+from repro.caches.set_assoc import SetAssociativeCache
+
+
+class TestGeometry:
+    def test_from_bytes_paper_l1(self):
+        # 16 KB, 4-way, 64-byte lines -> 64 sets.
+        c = SetAssociativeCache.from_bytes(16 * 1024, 64, 4)
+        assert c.num_sets == 64
+        assert c.ways == 4
+        assert c.capacity_lines == 256
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(3, 4)
+
+    def test_zero_ways_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(4, 0)
+
+    def test_misaligned_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache.from_bytes(1000, 64, 4)
+
+
+class TestSetConflicts:
+    def test_conflict_within_one_set(self):
+        c = SetAssociativeCache(num_sets=2, ways=1)
+        c.access(0)  # set 0
+        c.access(2)  # set 0, evicts 0
+        assert 0 not in c
+        assert 2 in c
+        assert c.last_eviction.line == 0
+
+    def test_no_conflict_across_sets(self):
+        c = SetAssociativeCache(num_sets=2, ways=1)
+        c.access(0)  # set 0
+        c.access(1)  # set 1
+        assert 0 in c and 1 in c
+
+    def test_lru_within_set(self):
+        c = SetAssociativeCache(num_sets=1, ways=2)
+        c.access(10)
+        c.access(20)
+        c.access(10)
+        c.access(30)  # evicts 20
+        assert 20 not in c and 10 in c and 30 in c
+
+
+class TestProtocolSupport:
+    def test_set_dirty_and_is_dirty(self):
+        c = SetAssociativeCache(2, 2)
+        c.access(4, write=True)
+        assert c.is_dirty(4)
+        c.set_dirty(4, False)
+        assert not c.is_dirty(4)
+
+    def test_set_dirty_missing_line_raises(self):
+        c = SetAssociativeCache(2, 2)
+        with pytest.raises(KeyError):
+            c.set_dirty(99, True)
+
+    def test_update_if_present(self):
+        c = SetAssociativeCache(2, 2)
+        assert not c.update_if_present(6)
+        c.access(6)
+        assert c.update_if_present(6)
+        assert c.is_dirty(6)
+
+    def test_fill_and_invalidate(self):
+        c = SetAssociativeCache(2, 2)
+        c.fill(8, dirty=True)
+        assert c.stats.accesses == 0
+        assert c.is_dirty(8)
+        assert c.invalidate(8)
+        assert 8 not in c
+
+    def test_len_counts_all_sets(self):
+        c = SetAssociativeCache(4, 2)
+        for line in range(6):
+            c.access(line)
+        assert len(c) == 6
+
+
+@given(lines=st.lists(st.integers(min_value=0, max_value=20), max_size=200))
+def test_single_set_equals_fully_associative(lines):
+    """With one set, a set-associative cache *is* fully associative."""
+    sa = SetAssociativeCache(num_sets=1, ways=4)
+    fa = FullyAssociativeCache(4)
+    for line in lines:
+        assert sa.access(line) == fa.access(line)
+    assert sorted(sa.resident_lines()) == sorted(fa.resident_lines())

@@ -1,0 +1,70 @@
+"""Fenwick tree vs a naive array reference."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.fenwick import FenwickTree
+
+
+class TestBasics:
+    def test_empty_total(self):
+        assert FenwickTree(0).total() == 0
+
+    def test_single_slot(self):
+        t = FenwickTree(1)
+        t.add(0, 5)
+        assert t.prefix_sum(0) == 5
+        assert t.total() == 5
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            FenwickTree(-1)
+
+    def test_out_of_range_add(self):
+        t = FenwickTree(4)
+        with pytest.raises(IndexError):
+            t.add(4, 1)
+
+    def test_out_of_range_query(self):
+        t = FenwickTree(4)
+        with pytest.raises(IndexError):
+            t.prefix_sum(4)
+
+    def test_range_sum_empty_when_lo_gt_hi(self):
+        t = FenwickTree(8)
+        t.add(3, 7)
+        assert t.range_sum(5, 2) == 0
+
+    def test_negative_amounts(self):
+        t = FenwickTree(4)
+        t.add(2, 3)
+        t.add(2, -1)
+        assert t.range_sum(2, 2) == 2
+
+
+@given(
+    size=st.integers(min_value=1, max_value=64),
+    data=st.data(),
+)
+def test_matches_naive_reference(size, data):
+    operations = data.draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=size - 1),
+                st.integers(min_value=-5, max_value=5),
+            ),
+            max_size=100,
+        )
+    )
+    tree = FenwickTree(size)
+    reference = [0] * size
+    for index, amount in operations:
+        tree.add(index, amount)
+        reference[index] += amount
+    for i in range(size):
+        assert tree.prefix_sum(i) == sum(reference[: i + 1])
+    lo = data.draw(st.integers(min_value=0, max_value=size - 1))
+    hi = data.draw(st.integers(min_value=0, max_value=size - 1))
+    if lo <= hi:
+        assert tree.range_sum(lo, hi) == sum(reference[lo : hi + 1])
+    assert tree.total() == sum(reference)

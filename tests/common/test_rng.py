@@ -1,0 +1,46 @@
+"""Deterministic RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import make_rng, split_rng
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(7).integers(0, 1000, size=10)
+        b = make_rng(7).integers(0, 1000, size=10)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 1_000_000, size=10)
+        b = make_rng(2).integers(0, 1_000_000, size=10)
+        assert (a != b).any()
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(0)
+        assert make_rng(g) is g
+
+
+class TestSplitRng:
+    def test_count(self):
+        children = split_rng(make_rng(0), 5)
+        assert len(children) == 5
+
+    def test_children_independent_streams(self):
+        children = split_rng(make_rng(0), 2)
+        a = children[0].integers(0, 1_000_000, size=10)
+        b = children[1].integers(0, 1_000_000, size=10)
+        assert (a != b).any()
+
+    def test_deterministic(self):
+        a = split_rng(make_rng(3), 3)[1].integers(0, 1000, size=5)
+        b = split_rng(make_rng(3), 3)[1].integers(0, 1000, size=5)
+        assert (a == b).all()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            split_rng(make_rng(0), -1)
+
+    def test_zero_count(self):
+        assert split_rng(make_rng(0), 0) == []

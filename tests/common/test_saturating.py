@@ -1,0 +1,153 @@
+"""Saturating arithmetic: the paper's sign convention and clamping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.saturating import (
+    SaturatingCounter,
+    SaturatingInt,
+    saturate,
+    saturating_bounds,
+    sign,
+)
+
+
+class TestSign:
+    def test_positive(self):
+        assert sign(5) == 1
+
+    def test_negative(self):
+        assert sign(-5) == -1
+
+    def test_zero_is_positive(self):
+        # The paper's convention: sign(x) = 1 if x >= 0.
+        assert sign(0) == 1
+
+    @given(st.integers())
+    def test_sign_is_never_zero(self, x):
+        assert sign(x) in (1, -1)
+
+
+class TestSaturate:
+    def test_bounds_16_bit(self):
+        assert saturating_bounds(16) == (-32768, 32767)
+
+    def test_clamps_high(self):
+        assert saturate(100_000, 16) == 32767
+
+    def test_clamps_low(self):
+        assert saturate(-100_000, 16) == -32768
+
+    def test_identity_in_range(self):
+        assert saturate(1234, 16) == 1234
+
+    def test_rejects_one_bit(self):
+        with pytest.raises(ValueError):
+            saturate(0, 1)
+
+    @given(st.integers(), st.integers(min_value=2, max_value=64))
+    def test_result_always_in_range(self, x, bits):
+        lo, hi = saturating_bounds(bits)
+        assert lo <= saturate(x, bits) <= hi
+
+    @given(st.integers(min_value=2, max_value=64))
+    def test_extremes_are_fixed_points(self, bits):
+        lo, hi = saturating_bounds(bits)
+        assert saturate(lo, bits) == lo
+        assert saturate(hi, bits) == hi
+
+
+class TestSaturatingInt:
+    def test_add_saturates(self):
+        a = SaturatingInt(32767, bits=16)
+        assert (a + 10).value == 32767
+
+    def test_sub_saturates(self):
+        a = SaturatingInt(-32768, bits=16)
+        assert (a - 1).value == -32768
+
+    def test_add_other_saturating_int(self):
+        a = SaturatingInt(10) + SaturatingInt(-3)
+        assert a.value == 7
+
+    def test_neg(self):
+        assert (-SaturatingInt(5)).value == -5
+
+    def test_neg_of_minimum_saturates(self):
+        lo, hi = saturating_bounds(16)
+        assert (-SaturatingInt(lo)).value == hi
+
+    def test_rejects_out_of_range_value(self):
+        with pytest.raises(ValueError):
+            SaturatingInt(40_000, bits=16)
+
+    def test_int_conversion(self):
+        assert int(SaturatingInt(42)) == 42
+
+    def test_sign_property_zero(self):
+        assert SaturatingInt(0).sign == 1
+
+    @given(
+        st.integers(min_value=-32768, max_value=32767),
+        st.integers(min_value=-100_000, max_value=100_000),
+    )
+    def test_add_matches_saturate(self, start, amount):
+        result = SaturatingInt(start, bits=16) + amount
+        assert result.value == saturate(start + amount, 16)
+
+
+class TestSaturatingCounter:
+    def test_starts_at_zero(self):
+        assert SaturatingCounter(16).value == 0
+
+    def test_add_returns_new_value(self):
+        c = SaturatingCounter(16)
+        assert c.add(5) == 5
+        assert c.add(-7) == -2
+
+    def test_saturates_up(self):
+        c = SaturatingCounter(4)  # range [-8, 7]
+        c.add(100)
+        assert c.value == 7
+
+    def test_saturates_down(self):
+        c = SaturatingCounter(4)
+        c.add(-100)
+        assert c.value == -8
+
+    def test_sign_value_convention(self):
+        c = SaturatingCounter(8)
+        assert c.sign_value == 1
+        c.add(-1)
+        assert c.sign_value == -1
+
+    def test_reset(self):
+        c = SaturatingCounter(8, initial=5)
+        c.reset()
+        assert c.value == 0
+
+    def test_reset_out_of_range_rejected(self):
+        c = SaturatingCounter(4)
+        with pytest.raises(ValueError):
+            c.reset(1000)
+
+    def test_initial_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(4, initial=100)
+
+    @given(st.lists(st.integers(min_value=-50, max_value=50), max_size=200))
+    def test_value_stays_in_range(self, amounts):
+        c = SaturatingCounter(6)
+        for amount in amounts:
+            c.add(amount)
+            assert c.minimum <= c.value <= c.maximum
+
+    @given(st.lists(st.integers(min_value=-3, max_value=3), max_size=100))
+    def test_matches_unbounded_when_never_saturating(self, amounts):
+        # With a wide counter and small steps, saturation never engages.
+        c = SaturatingCounter(32)
+        total = 0
+        for amount in amounts:
+            c.add(amount)
+            total += amount
+        assert c.value == total

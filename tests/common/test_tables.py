@@ -1,0 +1,69 @@
+"""Text-table rendering and the paper's number formats."""
+
+import pytest
+
+from repro.common.tables import TextTable, format_count, format_per_event
+
+
+class TestFormatCount:
+    def test_small_exact(self):
+        assert format_count(4500) == "4500"
+
+    def test_large_scientific(self):
+        assert format_count(2.2e6) == "2.2e6"
+
+    def test_paper_migration_count(self):
+        # Table 2: gzip migrations "2.2 x 10^6".
+        assert format_count(2_200_000) == "2.2e6"
+
+    def test_boundary(self):
+        assert format_count(9999) == "9999"
+        assert format_count(10_000) == "1.0e4"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_count(-1)
+
+
+class TestFormatPerEvent:
+    def test_no_events(self):
+        assert format_per_event(1000, 0) == "-"
+
+    def test_simple_ratio(self):
+        assert format_per_event(9000, 2) == "4500"
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        t = TextTable(["benchmark", "L2 miss"])
+        t.add_row(["art", "11"])
+        lines = t.render().splitlines()
+        assert lines[0] == "benchmark | L2 miss"
+        assert lines[1] == "----------+--------"
+        assert lines[2] == "art       | 11"
+
+    def test_wide_cell_expands_column(self):
+        t = TextTable(["a"])
+        t.add_row(["a-very-wide-cell"])
+        assert "a-very-wide-cell" in t.render()
+
+    def test_wrong_arity_rejected(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(["only-one"])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_rows_are_copies(self):
+        t = TextTable(["a"])
+        t.add_row([1])
+        rows = t.rows
+        rows[0][0] = "mutated"
+        assert t.rows[0][0] == "1"
+
+    def test_str_equals_render(self):
+        t = TextTable(["x"])
+        t.add_row([3])
+        assert str(t) == t.render()

@@ -1,0 +1,83 @@
+"""The reference affinity algorithm (Definition 1, simulated directly)."""
+
+import pytest
+
+from repro.core.affinity import ReferenceAffinitySplitter
+from repro.traces.synthetic import Circular, HalfRandom
+
+
+class TestMechanics:
+    def test_first_reference_starts_at_zero_then_updates(self):
+        s = ReferenceAffinitySplitter(window_size=2)
+        step = s.reference(7)
+        # A_7 = 0 initially; 7 is in R; A_R = 0 -> sign +1 -> A_7 = +1.
+        assert step == 1
+        assert s.affinity[7] == 1
+
+    def test_out_of_window_elements_move_opposite(self):
+        s = ReferenceAffinitySplitter(window_size=1)
+        s.reference(1)  # A_1 = +1
+        s.reference(2)  # 1 leaves R; A_R = A_2 = 0 -> +1; A_1 -= 1
+        assert s.affinity[1] == 0
+        assert s.affinity[2] == 1
+
+    def test_window_is_distinct_lru(self):
+        s = ReferenceAffinitySplitter(window_size=2)
+        for e in (1, 2, 1, 3):
+            s.reference(e)
+        # LRU eviction order: 2 was evicted (1 was refreshed).
+        assert s.window == [1, 3]
+
+    def test_window_size_respected(self):
+        s = ReferenceAffinitySplitter(window_size=3)
+        for e in range(10):
+            s.reference(e)
+        assert len(s.window) == 3
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            ReferenceAffinitySplitter(window_size=0)
+
+    def test_window_affinity_sums_members(self):
+        s = ReferenceAffinitySplitter(window_size=2)
+        s.run([1, 2])
+        assert s.window_affinity() == s.affinity[1] + s.affinity[2]
+
+
+class TestSplittingBehaviour:
+    def test_balanced_split_on_circular(self):
+        """The negative feedback balances subset sizes (section 3.2)."""
+        s = ReferenceAffinitySplitter(window_size=10)
+        s.run(Circular(100).addresses(20_000))
+        assert 0.35 <= s.balance() <= 0.65
+
+    def test_half_random_groups_get_same_sign(self):
+        """Synchronous elements end up in the same subset (positive
+        feedback): each HalfRandom half should be nearly sign-pure."""
+        n, burst = 200, 40
+        s = ReferenceAffinitySplitter(window_size=40)
+        s.run(HalfRandom(n, burst, seed=5).addresses(40_000))
+        lower_positive = sum(1 for e in range(n // 2) if s.affinity.get(e, 0) >= 0)
+        upper_positive = sum(
+            1 for e in range(n // 2, n) if s.affinity.get(e, 0) >= 0
+        )
+        purity_lower = max(lower_positive, n // 2 - lower_positive) / (n // 2)
+        purity_upper = max(upper_positive, n // 2 - upper_positive) / (n // 2)
+        assert purity_lower > 0.9
+        assert purity_upper > 0.9
+        # And the two halves took opposite signs.
+        assert (lower_positive > n // 4) != (upper_positive > n // 4)
+
+    def test_subset_of_unseen_element_defaults_positive(self):
+        s = ReferenceAffinitySplitter(window_size=2)
+        assert s.subset_of(999) == 0
+
+    def test_split_partitions_seen_elements(self):
+        s = ReferenceAffinitySplitter(window_size=5)
+        s.run(Circular(40).addresses(4000))
+        positive, negative = s.split()
+        assert positive | negative == set(range(40))
+        assert not positive & negative
+
+    def test_empty_balance_is_half(self):
+        assert ReferenceAffinitySplitter(window_size=2).balance() == 0.5

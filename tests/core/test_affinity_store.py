@@ -1,0 +1,90 @@
+"""Affinity stores: unbounded table and the finite affinity cache."""
+
+import pytest
+
+from repro.core.affinity_store import AffinityCache, UnboundedAffinityStore
+
+
+class TestUnboundedStore:
+    def test_read_miss_returns_none(self):
+        store = UnboundedAffinityStore()
+        assert store.read(1) is None
+        assert store.misses == 1
+
+    def test_write_then_read(self):
+        store = UnboundedAffinityStore()
+        store.write(1, 42)
+        assert store.read(1) == 42
+
+    def test_overwrite(self):
+        store = UnboundedAffinityStore()
+        store.write(1, 1)
+        store.write(1, 2)
+        assert store.read(1) == 2
+
+    def test_counters(self):
+        store = UnboundedAffinityStore()
+        store.write(1, 0)
+        store.read(1)
+        store.read(2)
+        assert (store.reads, store.writes, store.misses) == (2, 1, 1)
+
+    def test_known_lines(self):
+        store = UnboundedAffinityStore()
+        store.write(3, 0)
+        store.write(5, 0)
+        assert sorted(store.known_lines()) == [3, 5]
+
+
+class TestAffinityCache:
+    def test_paper_geometry(self):
+        cache = AffinityCache(8192, 4)
+        assert cache.num_entries == 8192
+        assert cache.ways == 4
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            AffinityCache(8190, 4)  # not divisible into power-of-two sets
+        with pytest.raises(ValueError):
+            AffinityCache(8192, 0)
+
+    def test_write_read_roundtrip(self):
+        cache = AffinityCache(64, 4)
+        cache.write(100, -5)
+        assert cache.read(100) == -5
+
+    def test_read_miss(self):
+        cache = AffinityCache(64, 4)
+        assert cache.read(7) is None
+        assert cache.misses == 1
+
+    def test_capacity_causes_evictions(self):
+        cache = AffinityCache(16, 2)
+        for line in range(200):
+            cache.write(line, line)
+        assert len(cache) <= 16
+        assert cache.evictions > 0
+
+    def test_eviction_prefers_older_entries(self):
+        """Recently touched entries should survive a stream of fresh
+        insertions more often than untouched ones (age-based policy)."""
+        cache = AffinityCache(16, 2)
+        hot = 12345
+        cache.write(hot, 1)
+        for line in range(100):
+            cache.read(hot)  # keep it young
+            cache.write(line, 0)
+        assert hot in cache
+
+    def test_overwrite_in_place(self):
+        cache = AffinityCache(16, 2)
+        cache.write(5, 1)
+        cache.write(5, 9)
+        assert cache.read(5) == 9
+        assert len(cache) == 1
+
+    def test_contains(self):
+        cache = AffinityCache(16, 2)
+        assert 3 not in cache
+        cache.write(3, 0)
+        assert 3 in cache

@@ -1,0 +1,173 @@
+"""The migration controller: 2-way and 4-way splitting, sampling,
+L2 filtering, transition counting."""
+
+import pytest
+
+from repro.core.controller import ControllerConfig, MigrationController
+from repro.core.sampling import SamplingPolicy
+from repro.traces.synthetic import Circular, HalfRandom, UniformRandom
+
+
+class TestConfig:
+    def test_default_is_stack_experiment(self):
+        cfg = ControllerConfig.stack_experiment()
+        assert cfg.num_subsets == 4
+        assert cfg.filter_bits == 20
+        assert cfg.x_window_size == 128
+        assert cfg.y_window_size == 64
+        assert cfg.affinity_cache_entries is None
+        assert not cfg.l2_filtering
+
+    def test_four_core_matches_section_42(self):
+        cfg = ControllerConfig.four_core()
+        assert cfg.filter_bits == 18
+        assert cfg.affinity_cache_entries == 8192
+        assert cfg.sampling.sample_fraction == pytest.approx(8 / 31)
+        assert cfg.l2_filtering
+
+    def test_invalid_subsets_rejected(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(num_subsets=3)
+
+
+class TestTwoWay:
+    def test_subsets_in_range(self):
+        c = MigrationController(ControllerConfig(num_subsets=2))
+        for e in Circular(50).addresses(5000):
+            assert c.observe(e) in (0, 1)
+
+    def test_splits_half_random(self):
+        """HalfRandom(m): tail transition frequency approaches 1/m."""
+        c = MigrationController(
+            ControllerConfig(num_subsets=2, x_window_size=50, filter_bits=16)
+        )
+        behavior = HalfRandom(1000, 100)
+        n = 300_000
+        t0 = 0
+        for i, e in enumerate(behavior.addresses(n)):
+            if i == n - 50_000:
+                t0 = c.stats.transitions
+            c.observe(e)
+        tail = (c.stats.transitions - t0) / 50_000
+        assert tail < 2.5 / 100  # within 2.5x of the ideal 1/100
+
+    def test_transitions_counted_on_subset_change(self):
+        # A narrow filter on a random working set flips often.
+        c = MigrationController(ControllerConfig(num_subsets=2, filter_bits=10))
+        for e in UniformRandom(100, seed=3).addresses(20_000):
+            c.observe(e)
+        assert c.stats.transitions > 0
+
+    def test_mechanisms_listing(self):
+        c2 = MigrationController(ControllerConfig(num_subsets=2))
+        assert len(c2.mechanisms()) == 1
+        c4 = MigrationController(ControllerConfig(num_subsets=4))
+        assert len(c4.mechanisms()) == 3
+
+
+class TestFourWay:
+    def test_converges_to_four_balanced_subsets_on_circular(self):
+        c = MigrationController(ControllerConfig.stack_experiment())
+        last = {}
+        for e in Circular(4000).addresses(800_000):
+            last[e] = c.observe(e)
+        from collections import Counter
+
+        sizes = Counter(last.values())
+        assert len(sizes) == 4
+        assert min(sizes.values()) > 700  # near 1000 each
+
+    def test_observe_returns_pre_update_subset(self):
+        c = MigrationController(ControllerConfig.stack_experiment())
+        before = c.current_subset()
+        first = c.observe(12345)
+        assert first == before
+
+    def test_routing_splits_by_hash_parity(self):
+        c = MigrationController(ControllerConfig.stack_experiment())
+        c.observe(1)  # H=1 odd -> X
+        c.observe(2)  # H=2 even -> Y
+        assert c.mechanism_x.references == 1
+        total_y = sum(m.references for m in c.mechanism_y.values())
+        assert total_y == 1
+
+
+class TestSamplingIntegration:
+    def test_unsampled_lines_do_not_touch_mechanisms(self):
+        cfg = ControllerConfig(
+            num_subsets=2, sampling=SamplingPolicy.quarter()
+        )
+        c = MigrationController(cfg)
+        c.observe(8)  # H=8: not sampled
+        assert c.stats.sampled_references == 0
+        assert c.mechanism_x.references == 0
+
+    def test_sampled_fraction_recorded(self):
+        cfg = ControllerConfig(
+            num_subsets=2, sampling=SamplingPolicy.quarter()
+        )
+        c = MigrationController(cfg)
+        for e in range(31 * 10):
+            c.observe(e)
+        assert c.stats.sampled_references == 8 * 10
+
+
+class TestL2Filtering:
+    def test_filter_only_moves_on_l2_misses(self):
+        cfg = ControllerConfig(num_subsets=2, l2_filtering=True)
+        c = MigrationController(cfg)
+        for e in range(100):
+            c.observe(e, l2_miss=False)
+        assert c.stats.filter_updates == 0
+        c.observe(3, l2_miss=True)
+        assert c.stats.filter_updates == 1
+
+    def test_without_l2_filtering_every_reference_updates(self):
+        cfg = ControllerConfig(num_subsets=2, l2_filtering=False)
+        c = MigrationController(cfg)
+        for e in range(100):
+            c.observe(e, l2_miss=False)
+        assert c.stats.filter_updates == 100
+
+    def test_affinity_state_always_advances(self):
+        """L2 filtering gates the filter, not the affinity mechanism."""
+        cfg = ControllerConfig(num_subsets=2, l2_filtering=True)
+        c = MigrationController(cfg)
+        for e in range(50):
+            c.observe(e, l2_miss=False)
+        assert c.mechanism_x.references == 50
+
+
+class TestFiniteAffinityCache:
+    def test_large_working_set_suppresses_transitions(self):
+        """With a small affinity cache, a working set far larger than it
+        keeps missing -> A_e forced to 0 -> the filter barely moves (the
+        paper's swim/mgrid/mst suppression mechanism)."""
+        big = ControllerConfig(
+            num_subsets=2,
+            filter_bits=18,
+            affinity_cache_entries=64,
+            affinity_cache_ways=4,
+        )
+        unlimited = ControllerConfig(num_subsets=2, filter_bits=18)
+        suppressed = MigrationController(big)
+        free = MigrationController(unlimited)
+        for e in Circular(20_000).addresses(200_000):
+            suppressed.observe(e)
+            free.observe(e)
+        assert suppressed.stats.transitions <= free.stats.transitions
+
+    def test_affinity_cache_wired_in(self):
+        from repro.core.affinity_store import AffinityCache
+
+        c = MigrationController(ControllerConfig.four_core())
+        assert isinstance(c.store, AffinityCache)
+
+
+class TestStats:
+    def test_transition_frequency(self):
+        c = MigrationController(ControllerConfig(num_subsets=2))
+        assert c.stats.transition_frequency == 0.0
+        for e in UniformRandom(50, seed=1).addresses(5000):
+            c.observe(e)
+        assert 0.0 <= c.stats.transition_frequency <= 1.0

@@ -1,0 +1,72 @@
+"""The 2^depth-way hierarchical splitter (section 6 generalisation)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.multiway import HierarchicalConfig, HierarchicalController
+from repro.traces.synthetic import Circular
+
+
+class TestStructure:
+    def test_subset_count(self):
+        assert HierarchicalController(HierarchicalConfig(depth=1)).num_subsets == 2
+        assert HierarchicalController(HierarchicalConfig(depth=3)).num_subsets == 8
+
+    def test_mechanism_count_is_tree_size(self):
+        controller = HierarchicalController(HierarchicalConfig(depth=3))
+        assert len(controller.mechanisms()) == 7  # 1 + 2 + 4
+
+    def test_window_sizes_halve_per_level(self):
+        config = HierarchicalConfig(depth=3, root_window_size=128)
+        assert config.window_size_at(0) == 128
+        assert config.window_size_at(1) == 64
+        assert config.window_size_at(2) == 32
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            HierarchicalConfig(depth=0)
+        with pytest.raises(ValueError):
+            HierarchicalConfig(depth=7)
+
+    def test_subsets_in_range(self):
+        controller = HierarchicalController(HierarchicalConfig(depth=3))
+        for e in range(200):
+            assert 0 <= controller.observe(e) < 8
+
+
+class TestSplitting:
+    def test_eight_way_split_of_circular(self):
+        """Circular(4000) should be carved into 8 usable subsets."""
+        controller = HierarchicalController(
+            HierarchicalConfig(depth=3, filter_bits=16)
+        )
+        last = {}
+        for e in Circular(4000).addresses(1_500_000):
+            last[e] = controller.observe(e)
+        sizes = Counter(last.values())
+        # All 8 subsets in use, none dominating.
+        assert len(sizes) == 8
+        assert max(sizes.values()) < 4000 * 0.4
+        assert controller.stats.transition_frequency < 0.02
+
+    def test_depth_one_matches_two_way_semantics(self):
+        controller = HierarchicalController(
+            HierarchicalConfig(depth=1, filter_bits=16, root_window_size=100)
+        )
+        last = {}
+        for e in Circular(1000).addresses(400_000):
+            last[e] = controller.observe(e)
+        sizes = Counter(last.values())
+        assert set(sizes) == {0, 1}
+        assert min(sizes.values()) > 300
+
+    def test_l2_filtering_gates_filters(self):
+        controller = HierarchicalController(
+            HierarchicalConfig(depth=2, l2_filtering=True)
+        )
+        for e in range(100):
+            controller.observe(e, l2_miss=False)
+        assert controller.stats.filter_updates == 0
+        controller.observe(1, l2_miss=True)
+        assert controller.stats.filter_updates == 1

@@ -1,0 +1,167 @@
+"""The Figure 2 hardware mechanism, including exact equivalence with the
+Definition 1 reference implementation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.affinity import ReferenceAffinitySplitter
+from repro.core.affinity_store import UnboundedAffinityStore
+from repro.core.mechanism import SplitMechanism
+from repro.traces.synthetic import Circular
+
+
+def make_mechanism(window=4, bits=16, **kw) -> SplitMechanism:
+    return SplitMechanism(window, UnboundedAffinityStore(), affinity_bits=bits, **kw)
+
+
+class TestBasics:
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            SplitMechanism(0, UnboundedAffinityStore())
+
+    def test_first_reference_affinity_zero(self):
+        m = make_mechanism()
+        assert m.process(1) == 0
+
+    def test_window_fifo_order(self):
+        m = make_mechanism(window=2)
+        for e in (1, 2, 3):
+            m.process(e)
+        assert m.window_lines() == [2, 3]
+
+    def test_fifo_allows_duplicates(self):
+        m = make_mechanism(window=3)
+        for e in (1, 1, 1):
+            m.process(e)
+        assert m.window_lines() == [1, 1, 1]
+
+    def test_lru_window_keeps_distinct(self):
+        m = make_mechanism(window=3, lru_window=True)
+        for e in (1, 2, 1):
+            m.process(e)
+        assert m.window_lines() == [2, 1]
+
+    def test_affinity_of_unknown_line_is_none(self):
+        m = make_mechanism()
+        assert m.affinity_of(42) is None
+
+    def test_affinity_of_in_window_line(self):
+        m = make_mechanism(window=4)
+        m.process(1)
+        assert m.affinity_of(1) is not None
+
+    def test_delta_moves_every_reference(self):
+        m = make_mechanism()
+        for e in range(10):
+            m.process(e)
+        assert m.delta.value != 0
+
+    def test_saturation_bounds_respected(self):
+        m = make_mechanism(window=2, bits=4)  # tiny: saturates fast
+        for e in Circular(10).addresses(2000):
+            a = m.process(e)
+            assert -8 <= a <= 7
+        assert -16 <= m.delta.value <= 15  # 5-bit delta
+
+
+class TestEquivalenceWithDefinition:
+    """The postponed-update mechanism (LRU window, wide registers, exact
+    window-affinity tracking) must agree with Definition 1 *exactly*."""
+
+    def run_both(self, window, stream):
+        reference = ReferenceAffinitySplitter(window)
+        mechanism = make_mechanism(
+            window=window, bits=56, lru_window=True,
+            track_true_window_affinity=True,
+        )
+        for element in stream:
+            reference.reference(element)
+            mechanism.process(element)
+        return reference, mechanism
+
+    def check_affinities_match(self, reference, mechanism):
+        for element, expected in reference.affinity.items():
+            assert mechanism.affinity_of(element) == expected, element
+
+    def test_simple_stream(self):
+        reference, mechanism = self.run_both(2, [1, 2, 3, 1, 2, 3, 4, 4])
+        self.check_affinities_match(reference, mechanism)
+
+    def test_circular(self):
+        reference, mechanism = self.run_both(5, Circular(20).addresses(500))
+        self.check_affinities_match(reference, mechanism)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        window=st.integers(min_value=1, max_value=6),
+        stream=st.lists(st.integers(min_value=0, max_value=10), max_size=150),
+    )
+    def test_any_stream(self, window, stream):
+        reference, mechanism = self.run_both(window, stream)
+        self.check_affinities_match(reference, mechanism)
+        assert mechanism.window_affinity.value == reference.window_affinity()
+
+
+class TestWindowAffinityModes:
+    def test_literal_register_diverges_from_true_sum(self):
+        """The literal Figure 2 register omits the |R|*sign drift, so
+        once Δ is non-zero it no longer equals the true Σ A_e (while the
+        exact mode always does, per TestEquivalenceWithDefinition)."""
+        m = make_mechanism(window=3, bits=40, lru_window=True,
+                           track_true_window_affinity=False)
+        for e in (1, 2, 3, 4, 5, 1, 2):
+            m.process(e)
+        true_sum = sum(m.affinity_of(line) for line in set(m.window_lines()))
+        assert m.delta.value != 0
+        assert m.window_affinity.value != true_sum
+
+    def test_exact_mode_splits_circular_better_than_literal(self):
+        """The documented ablation: on Circular the exact mode converges
+        to fewer sign runs (less fragmentation) than the literal one."""
+
+        def sign_runs(mechanism, n):
+            signs = [(mechanism.affinity_of(e) or 0) >= 0 for e in range(n)]
+            return sum(
+                1 for i in range(n) if signs[i] != signs[i - 1]
+            )
+
+        n = 800
+        exact = make_mechanism(window=20, track_true_window_affinity=True)
+        literal = make_mechanism(window=20, track_true_window_affinity=False)
+        for e in Circular(n).addresses(300_000):
+            exact.process(e)
+            literal.process(e)
+        assert sign_runs(exact, n) <= sign_runs(literal, n)
+        assert sign_runs(exact, n) <= 4
+
+    def test_exact_mode_converges_circular_to_optimal(self):
+        """The headline reproduction check: Circular(400), |R|=20 ->
+         2-piece split, transition frequency ~ 2/N (paper Figure 3)."""
+        m = make_mechanism(window=20, bits=16)
+        transitions = 0
+        previous = None
+        n = 200_000
+        tail_start = n - 4000
+        tail_transitions = 0
+        for i, e in enumerate(Circular(400).addresses(n)):
+            sign = m.process(e) >= 0
+            if previous is not None and sign != previous:
+                transitions += 1
+                if i >= tail_start:
+                    tail_transitions += 1
+            previous = sign
+        # Tail: ~2 transitions per 400-reference lap, i.e. 20 in 4000.
+        assert tail_transitions <= 40
+        # Balanced split.
+        positive = sum(
+            1 for e in range(400) if (m.affinity_of(e) or 0) >= 0
+        )
+        assert 160 <= positive <= 240
+
+    def test_store_receives_values_on_window_exit(self):
+        store = UnboundedAffinityStore()
+        m = SplitMechanism(2, store, affinity_bits=16)
+        for e in (1, 2, 3):
+            m.process(e)
+        assert 1 in store  # evicted from the window -> written back
+        assert 3 not in store  # still in the window

@@ -1,0 +1,82 @@
+"""4-way recursive splitting semantics (paper section 3.6)."""
+
+from repro.core.controller import ControllerConfig, MigrationController
+from repro.core.sampling import SamplingPolicy
+from repro.traces.synthetic import HalfRandom
+
+
+class TestSubsetEncoding:
+    def test_upper_bit_from_x_filter(self):
+        c = MigrationController(ControllerConfig.stack_experiment())
+        # Drive F_X negative with an odd-hash line (H(1)=1 -> X).
+        c.filter_x.update(-100)
+        assert c.current_subset() in (2, 3)
+        c.filter_x.update(+200)
+        assert c.current_subset() in (0, 1)
+
+    def test_lower_bit_from_selected_y_filter(self):
+        c = MigrationController(ControllerConfig.stack_experiment())
+        assert c.filter_x.sign == 1
+        c.filter_y[+1].update(-100)
+        assert c.current_subset() == 1
+        c.filter_y[-1].update(-100)  # inactive branch: no effect now
+        assert c.current_subset() == 1
+
+    def test_x_flip_switches_active_y_branch(self):
+        c = MigrationController(ControllerConfig.stack_experiment())
+        c.filter_y[+1].update(-100)  # subset 1 while X positive
+        c.filter_y[-1].update(+100)  # Y[-1] stays positive
+        assert c.current_subset() == 1
+        c.filter_x.update(-(1 << 19))  # flip X negative
+        assert c.current_subset() == 2  # (negative, Y[-1] positive)
+
+
+class TestYMechanismRouting:
+    def test_even_hash_lines_feed_current_y(self):
+        c = MigrationController(ControllerConfig.stack_experiment())
+        c.observe(2)  # H=2, even, F_X >= 0 -> Y[+1]
+        assert c.mechanism_y[+1].references == 1
+        assert c.mechanism_y[-1].references == 0
+        c.filter_x.update(-(1 << 19))  # force F_X negative
+        c.observe(33)  # H=2 again (33 mod 31 = 2) -> Y[-1]
+        assert c.mechanism_y[-1].references == 1
+
+    def test_window_sizes_match_paper(self):
+        c = MigrationController(ControllerConfig.stack_experiment())
+        assert c.mechanism_x.window_size == 128
+        assert c.mechanism_y[+1].window_size == 64
+        assert c.mechanism_y[-1].window_size == 64
+
+    def test_shared_affinity_store(self):
+        c = MigrationController(ControllerConfig.stack_experiment())
+        assert c.mechanism_x.store is c.store
+        assert c.mechanism_y[+1].store is c.store
+        assert c.mechanism_y[-1].store is c.store
+
+
+class TestRecursiveSplitQuality:
+    def test_four_way_split_of_two_phase_set_uses_both_levels(self):
+        """HalfRandom gives X the phase split; Y splits within phases
+        only as far as randomness allows — but the X-level split alone
+        must be clean (each half maps to subsets with one X sign)."""
+        c = MigrationController(ControllerConfig.stack_experiment())
+        n, burst = 2000, 300
+        last = {}
+        for e in HalfRandom(n, burst, seed=8).addresses(500_000):
+            last[e] = c.observe(e)
+        lower = [last[e] for e in range(n // 2) if e in last]
+        upper = [last[e] for e in range(n // 2, n) if e in last]
+        # Each half should land overwhelmingly on one side of the X bit.
+        lower_hi = sum(1 for s in lower if s >= 2) / len(lower)
+        upper_hi = sum(1 for s in upper if s >= 2) / len(upper)
+        assert abs(lower_hi - upper_hi) > 0.5  # halves separated by X
+
+
+class TestTwoWayIgnoresParityRouting:
+    def test_two_way_routes_everything_to_x(self):
+        c = MigrationController(
+            ControllerConfig(num_subsets=2, sampling=SamplingPolicy.full())
+        )
+        for e in range(64):
+            c.observe(e)
+        assert c.mechanism_x.references == 64

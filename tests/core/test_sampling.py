@@ -1,0 +1,76 @@
+"""Working-set sampling and the mod-31 hardware hash."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.sampling import SamplingPolicy, digitwise_mod31, mod_hash
+
+
+class TestModHash:
+    def test_basic(self):
+        assert mod_hash(62) == 0
+        assert mod_hash(32) == 1
+
+    @given(st.integers(min_value=0, max_value=2**48))
+    def test_digitwise_matches_modulo(self, line):
+        """The carry-save-adder trick (2^5 ≡ 1 mod 31) is exact."""
+        assert digitwise_mod31(line) == line % 31
+
+    def test_digitwise_rejects_negative(self):
+        with pytest.raises(ValueError):
+            digitwise_mod31(-1)
+
+    def test_all_ones_fixup(self):
+        # 31 itself must give 0, not 31.
+        assert digitwise_mod31(31) == 0
+
+
+class TestSamplingPolicy:
+    def test_full_samples_everything(self):
+        policy = SamplingPolicy.full()
+        assert policy.sample_fraction == 1.0
+        assert all(policy.is_sampled(line) for line in range(100))
+
+    def test_quarter_is_papers_25_percent(self):
+        policy = SamplingPolicy.quarter()
+        assert policy.sampled_residues == frozenset(range(8))
+        assert policy.sample_fraction == pytest.approx(8 / 31)
+
+    def test_quarter_sampling_selects_by_hash(self):
+        policy = SamplingPolicy.quarter()
+        assert policy.is_sampled(7)  # H = 7 < 8
+        assert not policy.is_sampled(8)  # H = 8
+        assert policy.is_sampled(31)  # H = 0
+
+    def test_sampled_fraction_on_uniform_lines(self):
+        policy = SamplingPolicy.quarter()
+        sampled = sum(policy.is_sampled(line) for line in range(31 * 100))
+        assert sampled == 8 * 100
+
+    def test_routing_by_hash_parity(self):
+        policy = SamplingPolicy.full()
+        assert policy.routes_to_x(1)  # H=1 odd -> X
+        assert not policy.routes_to_x(2)  # H=2 even -> Y
+        assert not policy.routes_to_x(31)  # H=0 even -> Y
+
+    def test_bad_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingPolicy(modulus=1)
+
+    def test_empty_residues_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingPolicy(modulus=31, sampled_residues=frozenset())
+
+    def test_out_of_range_residue_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingPolicy(modulus=31, sampled_residues=frozenset({31}))
+
+    def test_stride_streams_not_pathological(self):
+        """The prime modulus guarantees every residue appears under any
+        stride coprime with 31 — the reason the paper picked 31."""
+        policy = SamplingPolicy.quarter()
+        for stride in (2, 3, 4, 8, 16, 64, 128):
+            lines = [i * stride for i in range(31 * 4)]
+            sampled = sum(policy.is_sampled(line) for line in lines)
+            fraction = sampled / len(lines)
+            assert 0.2 <= fraction <= 0.32, (stride, fraction)

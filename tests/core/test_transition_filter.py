@@ -1,0 +1,77 @@
+"""The transition filter (section 3.4)."""
+
+from repro.core.transition_filter import TransitionFilter
+
+
+class TestSubsetDecision:
+    def test_starts_in_subset_zero(self):
+        # F = 0, sign(0) = +1 -> subset 0.
+        assert TransitionFilter(8).subset == 0
+
+    def test_negative_filter_is_subset_one(self):
+        f = TransitionFilter(8)
+        f.update(-10)
+        assert f.subset == 1
+        assert f.sign == -1
+
+    def test_update_returns_subset(self):
+        f = TransitionFilter(8)
+        assert f.update(-1) == 1
+        assert f.update(+2) == 0
+
+    def test_sign_changes_counted(self):
+        f = TransitionFilter(8)
+        f.update(-1)
+        f.update(+2)
+        f.update(+1)
+        assert f.sign_changes == 2
+
+    def test_reset(self):
+        f = TransitionFilter(8)
+        f.update(-5)
+        f.reset()
+        assert f.value == 0
+        assert f.subset == 0
+
+
+class TestHysteresis:
+    def test_filter_delays_transitions(self):
+        """A wide filter absorbs small opposing affinities: the paper's
+        delay of ~2^(f-b) references before an actual transition."""
+        f = TransitionFilter(12)  # range ±2048
+        f.update(2000)  # strongly positive
+        flips = 0
+        for _ in range(3):
+            if f.update(-500) == 1:
+                flips += 1
+        assert flips == 0  # 2000 - 1500 still positive
+        assert f.update(-600) == 1  # now crosses zero
+
+    def test_saturation_bounds_swing_time(self):
+        """Saturation caps how long the filter can 'remember': after
+        saturating positive, exactly ceil(max/|a|) + 1 negative updates
+        of magnitude |a| flip it."""
+        f = TransitionFilter(10)  # max 511
+        for _ in range(100):
+            f.update(400)  # saturates at 511
+        steps = 0
+        while f.subset == 0:
+            f.update(-400)
+            steps += 1
+        assert steps == 2  # 511 -> 111 -> -289
+
+    def test_doubling_width_doubles_swing(self):
+        """One extra filter bit doubles the full swing (the paper's
+        frequency-halving argument)."""
+
+        def swing_steps(bits):
+            f = TransitionFilter(bits)
+            for _ in range(10_000):
+                f.update(1 << 15)  # saturated positive affinity
+            steps = 0
+            while f.subset == 0:
+                f.update(-(1 << 15))
+                steps += 1
+            return steps
+
+        assert swing_steps(20) == 2 * swing_steps(19)

@@ -1,0 +1,36 @@
+"""The run_all command-line driver."""
+
+import pytest
+
+from repro.experiments.run_all import main
+
+
+class TestCli:
+    def test_speedups_experiment(self, capsys):
+        assert main(
+            ["--only", "speedups", "--workloads", "bisort", "--scale", "0.05"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Projected speedup" in out
+        assert "bisort" in out
+
+    def test_multiple_only_flags(self, capsys):
+        assert main(
+            [
+                "--only", "table1",
+                "--only", "speedups",
+                "--workloads", "bisort",
+                "--scale", "0.05",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Projected speedup" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--only", "nonsense"])
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["--only", "table1", "--workloads", "nope"])

@@ -1,0 +1,55 @@
+"""Speedup projection driver."""
+
+from repro.experiments.speedups import (
+    PAPER_PMIG_VALUES,
+    project_speedups,
+    render_speedups,
+)
+from repro.experiments.table2 import Table2Row
+
+
+def winner_row() -> Table2Row:
+    return Table2Row(
+        name="winner",
+        instructions=1_000_000,
+        l1_misses=100_000,
+        l2_misses_baseline=50_000,
+        l2_misses_migrating=10_000,
+        migrations=1_000,
+    )
+
+
+def neutral_row() -> Table2Row:
+    return Table2Row(
+        name="neutral",
+        instructions=1_000_000,
+        l1_misses=100_000,
+        l2_misses_baseline=50_000,
+        l2_misses_migrating=50_000,
+        migrations=0,
+    )
+
+
+class TestProjection:
+    def test_winner_speeds_up_at_low_pmig(self):
+        rows = project_speedups([winner_row()])
+        assert rows[0].speedups[0] > 1.2  # P_mig = 1
+
+    def test_winner_degrades_past_break_even(self):
+        rows = project_speedups([winner_row()])
+        by_pmig = dict(zip(PAPER_PMIG_VALUES, rows[0].speedups))
+        assert rows[0].break_even_pmig == 40
+        assert by_pmig[20] > 1.0
+        assert by_pmig[50] < 1.0
+
+    def test_neutral_row_is_exactly_one(self):
+        rows = project_speedups([neutral_row()])
+        assert all(s == 1.0 for s in rows[0].speedups)
+
+    def test_speedups_monotone_in_pmig(self):
+        rows = project_speedups([winner_row()])
+        assert list(rows[0].speedups) == sorted(rows[0].speedups, reverse=True)
+
+    def test_rendering(self):
+        text = render_speedups(project_speedups([winner_row(), neutral_row()]))
+        assert "winner" in text and "Pmig=50" in text

@@ -1,0 +1,41 @@
+"""Workload registry."""
+
+import pytest
+
+from repro.experiments.workloads import WORKLOAD_NAMES, workload, workload_names
+
+
+class TestRegistry:
+    def test_eighteen_workloads(self):
+        assert len(WORKLOAD_NAMES) == 18
+
+    def test_paper_order_spec_then_olden(self):
+        names = workload_names()
+        assert names[0] == "164.gzip"
+        assert names[12] == "300.twolf"
+        assert names[13:] == ["bh", "bisort", "em3d", "health", "mst"]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            workload("nope")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            workload("179.art", scale=0)
+
+
+class TestTraces:
+    def test_spec_workload_scales(self):
+        small = sum(1 for _ in workload("179.art", scale=0.01).accesses())
+        large = sum(1 for _ in workload("179.art", scale=0.02).accesses())
+        assert large > small
+
+    def test_olden_workload_replayable(self):
+        spec = workload("bisort", scale=0.05)
+        a = sum(1 for _ in spec.accesses())
+        b = sum(1 for _ in spec.accesses())
+        assert a == b > 0
+
+    def test_olden_flag(self):
+        assert workload("mst").is_olden
+        assert not workload("181.mcf").is_olden

@@ -1,0 +1,58 @@
+"""Determinism: every simulation is exactly reproducible run-to-run.
+
+Reproducibility is a hard requirement for the experiment harness — the
+EXPERIMENTS.md numbers must be regenerable bit-for-bit."""
+
+from repro.caches.hierarchy import CoreCacheConfig, SingleCoreHierarchy
+from repro.core.controller import ControllerConfig, MigrationController
+from repro.experiments.workloads import workload
+from repro.multicore.chip import ChipConfig, MultiCoreChip
+from repro.traces.synthetic import UniformRandom, behavior_trace
+
+
+SMALL = CoreCacheConfig(
+    il1_bytes=1024, dl1_bytes=1024, l1_ways=4, l2_bytes=8 * 1024
+)
+
+
+def chip_fingerprint(trace) -> tuple:
+    controller = ControllerConfig(
+        num_subsets=4, filter_bits=12, x_window_size=16, y_window_size=8
+    )
+    chip = MultiCoreChip(
+        ChipConfig(num_cores=4, caches=SMALL, controller=controller)
+    )
+    chip.run(trace)
+    s = chip.stats
+    return (s.l1_misses, s.l2_misses, s.migrations, chip.active_core)
+
+
+class TestDeterminism:
+    def test_chip_run_is_deterministic(self):
+        make = lambda: behavior_trace(UniformRandom(300, seed=9), 60_000)
+        assert chip_fingerprint(make()) == chip_fingerprint(make())
+
+    def test_controller_is_deterministic(self):
+        def run():
+            c = MigrationController(ControllerConfig.four_core())
+            for e in UniformRandom(500, seed=4).addresses(50_000):
+                c.observe(e)
+            return (c.stats.transitions, c.stats.filter_updates)
+
+        assert run() == run()
+
+    def test_workload_traces_are_deterministic(self):
+        for name in ("181.mcf", "bisort"):
+            spec = workload(name, scale=0.02)
+            a = [x.address for x in spec.accesses()][:2000]
+            b = [x.address for x in spec.accesses()][:2000]
+            assert a == b, name
+
+    def test_hierarchy_is_deterministic(self):
+        def run():
+            h = SingleCoreHierarchy(SMALL)
+            for access in behavior_trace(UniformRandom(300, seed=9), 40_000):
+                h.access(access)
+            return (h.stats.l1_misses, h.stats.l2_misses)
+
+        assert run() == run()

@@ -1,0 +1,54 @@
+"""Examples stay importable and their helpers behave.
+
+The examples' ``main()`` functions run full-scale demos; these tests
+exercise their building blocks cheaply so a broken example fails CI
+rather than a user's first contact with the library.
+"""
+
+import ast
+import pathlib
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+class TestExampleFiles:
+    def test_all_examples_present(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "affinity_dynamics.py",
+            "olden_splittability.py",
+            "multicore_migration.py",
+            "offline_vs_online.py",
+            "eight_way_scaling.py",
+        } <= names
+
+    def test_all_examples_parse_and_have_main(self):
+        for path in EXAMPLES.glob("*.py"):
+            tree = ast.parse(path.read_text())
+            functions = {
+                node.name
+                for node in ast.walk(tree)
+                if isinstance(node, ast.FunctionDef)
+            }
+            assert "main" in functions, path.name
+
+    def test_all_examples_have_module_docstring(self):
+        for path in EXAMPLES.glob("*.py"):
+            tree = ast.parse(path.read_text())
+            assert ast.get_docstring(tree), path.name
+
+
+class TestAffinityDynamicsHelpers:
+    def test_strip_renders_signs(self):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "affinity_dynamics", EXAMPLES / "affinity_dynamics.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        strip = module.strip([10] * 50 + [-10] * 50, buckets=10)
+        assert strip == "+++++-----"
+        mixed = module.strip([10, -10] * 50, buckets=10)
+        assert set(mixed) == {"~"}

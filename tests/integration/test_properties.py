@@ -1,0 +1,95 @@
+"""Cross-cutting property tests on library invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.caches.lru_stack import StackProfile
+from repro.core.controller import ControllerConfig, MigrationController
+from repro.partition.graph import build_transition_graph
+from repro.partition.metrics import evaluate_partition
+from repro.partition.static import random_split
+
+
+class TestStackProfileAlgebra:
+    @given(
+        a=st.lists(st.one_of(st.none(), st.integers(1, 30)), max_size=60),
+        b=st.lists(st.one_of(st.none(), st.integers(1, 30)), max_size=60),
+        x=st.integers(0, 40),
+    )
+    def test_merge_is_commutative_pointwise(self, a, b, x):
+        pa, pb = StackProfile(), StackProfile()
+        pa.record_stream(a)
+        pb.record_stream(b)
+        ab = pa.merge(pb)
+        ba = pb.merge(pa)
+        assert ab.total == ba.total
+        assert ab.fraction_deeper(x) == ba.fraction_deeper(x)
+
+    @given(
+        streams=st.lists(
+            st.lists(st.one_of(st.none(), st.integers(1, 20)), max_size=30),
+            min_size=1,
+            max_size=4,
+        ),
+        x=st.integers(0, 25),
+    )
+    def test_merge_counts_match_concatenation(self, streams, x):
+        merged = StackProfile.merge_all(
+            [self._profile(s) for s in streams]
+        )
+        flat = self._profile([d for s in streams for d in s])
+        assert merged.total == flat.total
+        assert merged.fraction_deeper(x) == flat.fraction_deeper(x)
+
+    @staticmethod
+    def _profile(depths):
+        p = StackProfile()
+        p.record_stream(depths)
+        return p
+
+    @given(depths=st.lists(st.one_of(st.none(), st.integers(1, 50)), max_size=80))
+    def test_fraction_deeper_monotone_in_x(self, depths):
+        p = StackProfile()
+        p.record_stream(depths)
+        values = [p.fraction_deeper(x) for x in range(0, 60, 7)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestTransitionGraphInvariants:
+    @given(stream=st.lists(st.integers(0, 12), max_size=120))
+    def test_cut_symmetric_under_complement(self, stream):
+        graph = build_transition_graph(stream)
+        side_a, side_b = random_split(graph.nodes, seed=1)
+        assert graph.cut_weight(side_a) == graph.cut_weight(side_b)
+
+    @given(stream=st.lists(st.integers(0, 12), max_size=120))
+    def test_total_weight_counts_non_self_pairs(self, stream):
+        graph = build_transition_graph(stream)
+        expected = sum(
+            1 for a, b in zip(stream, stream[1:]) if a != b
+        )
+        assert graph.total_weight == expected
+
+    @given(stream=st.lists(st.integers(0, 12), max_size=120))
+    def test_cut_never_exceeds_total(self, stream):
+        graph = build_transition_graph(stream)
+        side_a, side_b = random_split(graph.nodes, seed=0)
+        quality = evaluate_partition(graph, side_a, side_b)
+        assert 0 <= quality.cut_weight <= graph.total_weight
+
+
+class TestControllerInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        stream=st.lists(st.integers(0, 200), max_size=400),
+        subsets=st.sampled_from([2, 4]),
+    )
+    def test_subset_always_in_range_and_transitions_bounded(
+        self, stream, subsets
+    ):
+        controller = MigrationController(
+            ControllerConfig(num_subsets=subsets, filter_bits=10)
+        )
+        for line in stream:
+            assert 0 <= controller.observe(line) < subsets
+        assert controller.stats.transitions <= max(0, len(stream))
+        assert controller.stats.sampled_references <= controller.stats.references

@@ -1,0 +1,127 @@
+"""Migration-mode L2 coherence protocol invariants (section 2.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.caches.hierarchy import CoreCacheConfig
+from repro.multicore.coherence import CoherentL2s
+
+
+def small_l2s(num_cores=4) -> CoherentL2s:
+    """Tiny L2s so evictions and conflicts happen quickly."""
+    return CoherentL2s(
+        num_cores,
+        CoreCacheConfig(l2_bytes=16 * 64, l2_ways=4, l2_skewed=False),
+    )
+
+
+class TestBasics:
+    def test_miss_allocates_in_active_l2_only(self):
+        l2s = small_l2s()
+        l2s.access(0, line=7, write=False)
+        assert l2s.holders_of(7) == [0]
+
+    def test_hit_after_fill(self):
+        l2s = small_l2s()
+        assert l2s.access(0, 7, write=False) is False
+        assert l2s.access(0, 7, write=False) is True
+
+    def test_each_core_fills_its_own_l2(self):
+        l2s = small_l2s()
+        l2s.access(0, 7, write=False)
+        l2s.access(1, 7, write=False)
+        assert l2s.holders_of(7) == [0, 1]
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            CoherentL2s(0)
+
+
+class TestModifiedBit:
+    def test_write_sets_modified_on_active(self):
+        l2s = small_l2s()
+        l2s.access(0, 7, write=True)
+        assert l2s.modified_holder_of(7) == 0
+
+    def test_write_demotes_inactive_copies_without_invalidating(self):
+        l2s = small_l2s()
+        l2s.access(1, 7, write=True)  # core 1 owns it modified
+        l2s.access(0, 7, write=True)  # core 0 writes: core 1 demoted
+        assert l2s.holders_of(7) == [0, 1]  # still valid on core 1
+        assert l2s.modified_holder_of(7) == 0
+
+    def test_at_most_one_modified_copy_simple(self):
+        l2s = small_l2s()
+        for core in range(4):
+            l2s.access(core, 7, write=True)
+        l2s.check_invariant([7])
+
+    def test_forward_from_modified_owner(self):
+        """A modified remote copy is forwarded: write-back + demote."""
+        l2s = small_l2s()
+        l2s.access(1, 7, write=True)
+        l2s.access(0, 7, write=False)  # miss on core 0, forward from 1
+        assert l2s.stats.forwards == 1
+        assert l2s.modified_holder_of(7) is None  # forwarding demotes
+
+    def test_clean_remote_copy_not_forwarded(self):
+        """A clean copy 'can be used only by the local core ... must be
+        re-fetched from L3'."""
+        l2s = small_l2s()
+        l2s.access(1, 7, write=False)  # clean copy on core 1
+        l2s.access(0, 7, write=False)
+        assert l2s.stats.forwards == 0
+        assert l2s.stats.l3_fetches == 2
+
+    def test_modified_eviction_counts_writeback(self):
+        l2s = CoherentL2s(
+            2, CoreCacheConfig(l2_bytes=64, l2_ways=1, l2_skewed=False)
+        )  # single-line L2s
+        l2s.access(0, 1, write=True)
+        l2s.access(0, 2, write=False)  # evicts modified line 1
+        assert l2s.stats.writebacks == 1
+
+    def test_inactive_update_counted(self):
+        l2s = small_l2s()
+        l2s.access(1, 7, write=False)  # clean copy on 1
+        l2s.access(0, 7, write=True)  # write on 0 updates 1's copy
+        assert l2s.stats.inactive_updates == 1
+
+
+class TestStats:
+    def test_misses_split_into_forwards_and_l3(self):
+        l2s = small_l2s()
+        l2s.access(0, 1, write=True)
+        l2s.access(1, 1, write=False)  # forward
+        l2s.access(1, 2, write=False)  # L3
+        stats = l2s.stats
+        assert stats.misses == 3
+        assert stats.forwards + stats.l3_fetches == stats.misses
+
+    def test_check_invariant_raises_on_violation(self):
+        l2s = small_l2s()
+        l2s.access(0, 7, write=True)
+        # Corrupt deliberately.
+        l2s.caches[1].fill(7, dirty=True)
+        with pytest.raises(AssertionError):
+            l2s.check_invariant([7])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),  # active core
+            st.integers(min_value=0, max_value=40),  # line
+            st.booleans(),  # write
+        ),
+        max_size=300,
+    )
+)
+def test_at_most_one_modified_copy_always(operations):
+    """Protocol invariant under arbitrary access interleavings."""
+    l2s = small_l2s()
+    lines = {line for _c, line, _w in operations}
+    for core, line, write in operations:
+        l2s.access(core, line, write=write)
+        l2s.check_invariant(list(lines))

@@ -1,0 +1,79 @@
+"""Eight-core chips with the hierarchical controller (section 6:
+"a larger number of cores")."""
+
+import pytest
+
+from repro.caches.hierarchy import CoreCacheConfig
+from repro.core.multiway import HierarchicalConfig, HierarchicalController
+from repro.multicore.chip import ChipConfig, MultiCoreChip
+from repro.traces.synthetic import Circular, behavior_trace
+
+TINY = CoreCacheConfig(
+    il1_bytes=512, dl1_bytes=512, l1_ways=2, l2_bytes=4 * 1024, l2_ways=4
+)
+
+
+def eight_core_chip() -> MultiCoreChip:
+    controller = HierarchicalController(
+        HierarchicalConfig(
+            depth=3, filter_bits=12, root_window_size=32, l2_filtering=True
+        )
+    )
+    return MultiCoreChip(
+        ChipConfig(num_cores=8, caches=TINY, controller=None),
+        controller=controller,
+    )
+
+
+class TestWiring:
+    def test_mismatched_override_rejected(self):
+        controller = HierarchicalController(HierarchicalConfig(depth=2))
+        with pytest.raises(ValueError):
+            MultiCoreChip(
+                ChipConfig(num_cores=8, caches=TINY, controller=None),
+                controller=controller,
+            )
+
+    def test_none_config_without_override_rejected(self):
+        with pytest.raises(ValueError):
+            MultiCoreChip(ChipConfig(num_cores=8, caches=TINY, controller=None))
+
+    def test_chip_config_validates_builtin_controller(self):
+        with pytest.raises(ValueError):
+            ChipConfig(num_cores=8)  # default 4-way controller
+
+    def test_eight_core_runs(self):
+        chip = eight_core_chip()
+        for access in behavior_trace(Circular(100), 5_000):
+            chip.access(access)
+        assert 0 <= chip.active_core < 8
+
+
+class TestCapacityScaling:
+    def test_eight_cores_beat_four_on_oversized_set(self):
+        """A working set that exceeds 4 aggregated L2s but fits 8:
+        the 8-core chip should remove more misses."""
+        # 24 KB set vs 4 x 4 KB = 16 KB and 8 x 4 KB = 32 KB.
+        trace = list(behavior_trace(Circular(384), 400_000))
+
+        from repro.core.controller import ControllerConfig
+
+        four = MultiCoreChip(
+            ChipConfig(
+                num_cores=4,
+                caches=TINY,
+                controller=ControllerConfig(
+                    num_subsets=4,
+                    filter_bits=12,
+                    x_window_size=32,
+                    y_window_size=16,
+                    l2_filtering=True,
+                ),
+            )
+        )
+        eight = eight_core_chip()
+        for access in trace:
+            four.access(access)
+            eight.access(access)
+        assert eight.stats.l2_misses < four.stats.l2_misses
+        assert eight.stats.migrations > 0

@@ -1,0 +1,71 @@
+"""Migration engine and penalty model."""
+
+import pytest
+
+from repro.multicore.migration import (
+    MigrationEngine,
+    MigrationPenaltyModel,
+    break_even_pmig,
+)
+
+
+class TestEngine:
+    def test_starts_on_core_zero(self):
+        assert MigrationEngine(4).active_core == 0
+
+    def test_migrate_counts(self):
+        engine = MigrationEngine(4)
+        assert engine.migrate_to(2) is True
+        assert engine.active_core == 2
+        assert engine.migrations == 1
+
+    def test_no_op_migration_not_counted(self):
+        engine = MigrationEngine(4)
+        assert engine.migrate_to(0) is False
+        assert engine.migrations == 0
+
+    def test_invalid_target(self):
+        engine = MigrationEngine(4)
+        with pytest.raises(ValueError):
+            engine.migrate_to(4)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MigrationEngine(0)
+        with pytest.raises(ValueError):
+            MigrationEngine(2, active_core=5)
+
+
+class TestPenaltyModel:
+    def test_migration_cycles_positive_and_small(self):
+        model = MigrationPenaltyModel()
+        cycles = model.migration_cycles()
+        assert 1 < cycles < 100  # a pipeline refill, not a context switch
+
+    def test_relative_penalty_below_paper_breakevens(self):
+        """The implicit assumption: P_mig is at most a few tens of L2
+        misses; the default model lands well under mcf's 60."""
+        model = MigrationPenaltyModel()
+        assert model.relative_penalty() < 60
+
+
+class TestBreakEven:
+    def test_paper_mcf_arithmetic(self):
+        """Table 2 mcf: 1e9-ish instr scale-free check: with misses
+        every 24 instr baseline and 36 migrating, and a migration every
+        4500 instr, ~62 misses are removed per migration."""
+        instructions = 45_000_000
+        baseline = instructions // 24
+        migrating = instructions // 36
+        migrations = instructions // 4500
+        value = break_even_pmig(instructions, baseline, migrating, migrations)
+        assert value == pytest.approx(62.5, rel=0.05)
+
+    def test_no_migrations_no_change(self):
+        assert break_even_pmig(1000, 50, 50, 0) == 0.0
+
+    def test_no_migrations_but_fewer_misses(self):
+        assert break_even_pmig(1000, 50, 40, 0) == float("inf")
+
+    def test_negative_when_migration_hurts(self):
+        assert break_even_pmig(1000, 50, 80, 10) == -3.0

@@ -1,0 +1,87 @@
+"""The first-order timing / speedup model."""
+
+import pytest
+
+from repro.multicore.migration import break_even_pmig
+from repro.multicore.timing import (
+    TimingModel,
+    break_even_pmig_timing,
+    migration_speedup,
+    speedup_curve,
+)
+
+
+class TestCycles:
+    def test_decomposition(self):
+        model = TimingModel(base_cpi=1.0, l2_hit_penalty=10, l3_penalty=100)
+        cycles = model.cycles(
+            instructions=1000, l2_accesses=50, l2_misses=10,
+            migrations=2, pmig=5.0,
+        )
+        assert cycles == 1000 + 500 + 1000 + 1000
+
+    def test_rejects_negative(self):
+        model = TimingModel()
+        with pytest.raises(ValueError):
+            model.cycles(-1, 0, 0)
+        with pytest.raises(ValueError):
+            model.cycles(1, 0, 0, 0, pmig=-1)
+
+
+class TestSpeedup:
+    # A Table 2-ish row: migration halves L2 misses.
+    ROW = dict(
+        instructions=1_000_000,
+        l1_misses=100_000,
+        l2_misses_baseline=40_000,
+        l2_misses_migrating=20_000,
+        migrations=500,
+    )
+
+    def test_speedup_above_one_for_cheap_migrations(self):
+        speedup = migration_speedup(TimingModel(), pmig=1.0, **self.ROW)
+        assert speedup > 1.0
+
+    def test_speedup_below_one_for_expensive_migrations(self):
+        speedup = migration_speedup(TimingModel(), pmig=1000.0, **self.ROW)
+        assert speedup < 1.0
+
+    def test_curve_monotone_decreasing_in_pmig(self):
+        curve = speedup_curve(TimingModel(), **self.ROW)
+        speedups = [p.speedup for p in curve]
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_crossing_at_break_even(self):
+        crossing = break_even_pmig_timing(
+            self.ROW["l2_misses_baseline"],
+            self.ROW["l2_misses_migrating"],
+            self.ROW["migrations"],
+        )
+        just_below = migration_speedup(
+            TimingModel(), pmig=crossing * 0.99, **self.ROW
+        )
+        just_above = migration_speedup(
+            TimingModel(), pmig=crossing * 1.01, **self.ROW
+        )
+        assert just_below > 1.0 > just_above
+
+    def test_timing_breakeven_matches_miss_arithmetic(self):
+        """The timing-model crossing equals the paper's miss-count
+        arithmetic regardless of penalties."""
+        assert break_even_pmig_timing(40_000, 20_000, 500) == break_even_pmig(
+            0, 40_000, 20_000, 500
+        )
+
+    def test_paper_mcf_gains_below_60(self):
+        """Paper: on mcf (misses every 24 -> 36 instr, migration every
+        4500 instr), gains appear iff P_mig < ~60."""
+        instructions = 9_000_000
+        row = dict(
+            instructions=instructions,
+            l1_misses=instructions // 14,
+            l2_misses_baseline=instructions // 24,
+            l2_misses_migrating=instructions // 36,
+            migrations=instructions // 4500,
+        )
+        assert migration_speedup(TimingModel(), pmig=30, **row) > 1.0
+        assert migration_speedup(TimingModel(), pmig=90, **row) < 1.0

@@ -1,0 +1,53 @@
+"""Update-bus bandwidth model (section 2.3)."""
+
+import pytest
+
+from repro.multicore.update_bus import UpdateBusModel, UpdateBusTraffic
+
+
+class TestBandwidthEstimate:
+    def test_paper_example_is_about_45_bytes(self):
+        """Section 2.3: 4-wide retirement, one store and one branch per
+        cycle -> approximately 45 bytes per cycle."""
+        model = UpdateBusModel()
+        assert model.bytes_per_cycle() == pytest.approx(45, abs=2)
+
+    def test_wider_core_needs_more(self):
+        narrow = UpdateBusModel(retire_width=2)
+        wide = UpdateBusModel(retire_width=8)
+        assert wide.bytes_per_cycle() > narrow.bytes_per_cycle()
+
+    def test_broadcast_cycles(self):
+        model = UpdateBusModel(retire_width=4)
+        assert model.broadcast_cycles(400) == 100
+
+    def test_broadcast_rejects_negative(self):
+        with pytest.raises(ValueError):
+            UpdateBusModel().broadcast_cycles(-1)
+
+
+class TestTraffic:
+    def test_store_bytes(self):
+        t = UpdateBusTraffic()
+        t.record_store()
+        assert t.store_bytes == 16  # 64-bit address + 64-bit value
+
+    def test_l1_fill_bytes(self):
+        t = UpdateBusTraffic()
+        t.record_l1_fill(line_size=64)
+        assert t.l1_fill_bytes == 64
+
+    def test_total(self):
+        t = UpdateBusTraffic()
+        t.record_store()
+        t.record_register_update()
+        t.record_branch()
+        t.record_l1_fill()
+        assert t.total_bytes == (
+            t.store_bytes + t.register_bytes + t.branch_bytes + t.l1_fill_bytes
+        )
+
+    def test_counts_accumulate(self):
+        t = UpdateBusTraffic()
+        t.record_store(3)
+        assert t.store_bytes == 48

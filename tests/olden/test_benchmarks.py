@@ -1,0 +1,126 @@
+"""The five mini-Olden benchmarks: correctness and trace properties."""
+
+import pytest
+
+from repro.olden import OLDEN_BENCHMARKS, olden_benchmark
+from repro.olden.bisort import bisort
+from repro.olden.bh import bh
+from repro.olden.em3d import em3d
+from repro.olden.health import health
+from repro.olden.mst import mst
+from repro.traces.trace import measure_trace
+
+
+class TestBisort:
+    def test_sorts_correctly(self):
+        # check=True raises if the backward pass did not sort descending.
+        trace = bisort(size=256, check=True)
+        assert len(trace) > 0
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            bisort(size=100)
+
+    def test_deterministic(self):
+        a = [x.address for x in bisort(size=64).accesses()]
+        b = [x.address for x in bisort(size=64).accesses()]
+        assert a == b
+
+    def test_access_count_scales_n_log2n(self):
+        small = len(bisort(size=256))
+        large = len(bisort(size=1024))
+        # n log^2 n growth: 4x elements -> more than 4x accesses.
+        assert large > 4 * small
+
+
+class TestEm3d:
+    def test_runs_and_traces(self):
+        trace = em3d(num_nodes=64, degree=4, timesteps=2)
+        stats = measure_trace(trace.accesses())
+        assert stats.accesses == len(trace)
+        assert stats.loads > stats.stores  # gather-dominated kernel
+
+    def test_footprint_scales_with_nodes(self):
+        small = measure_trace(em3d(num_nodes=64, degree=4, timesteps=1).accesses())
+        large = measure_trace(em3d(num_nodes=256, degree=4, timesteps=1).accesses())
+        assert large.distinct_lines > 3 * small.distinct_lines
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            em3d(num_nodes=0)
+
+
+class TestHealth:
+    def test_runs(self):
+        trace = health(max_level=3, timesteps=30)
+        assert len(trace) > 0
+
+    def test_footprint_grows_with_time(self):
+        """List-cell churn makes the footprint grow with simulated time
+        (the region allocator never frees — as in Olden)."""
+        short = measure_trace(health(max_level=3, timesteps=20).accesses())
+        long = measure_trace(health(max_level=3, timesteps=80).accesses())
+        assert long.distinct_lines > short.distinct_lines
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            health(max_level=0)
+        with pytest.raises(ValueError):
+            health(timesteps=0)
+
+
+class TestMst:
+    def test_mst_weight_verified_against_reference(self):
+        # mst() itself raises if the traced Prim disagrees with the
+        # untraced reference implementation.
+        trace = mst(num_vertices=48)
+        assert len(trace) > 0
+
+    def test_footprint_quadratic_in_vertices(self):
+        small = measure_trace(mst(num_vertices=32).accesses())
+        large = measure_trace(mst(num_vertices=64).accesses())
+        assert large.distinct_lines > 3 * small.distinct_lines
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            mst(num_vertices=1)
+
+
+class TestBh:
+    def test_runs(self):
+        trace = bh(num_bodies=128, timesteps=1)
+        assert len(trace) > 0
+
+    def test_deterministic(self):
+        a = [x.address for x in bh(num_bodies=64).accesses()]
+        b = [x.address for x in bh(num_bodies=64).accesses()]
+        assert a == b
+
+    def test_more_steps_more_accesses(self):
+        one = len(bh(num_bodies=128, timesteps=1))
+        two = len(bh(num_bodies=128, timesteps=2))
+        assert two > 1.8 * one
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            bh(num_bodies=1)
+        with pytest.raises(ValueError):
+            bh(num_bodies=64, timesteps=0)
+
+
+class TestRegistry:
+    def test_all_benchmarks_run_at_tiny_scale(self):
+        for name in OLDEN_BENCHMARKS:
+            trace = olden_benchmark(name, scale=0.05)
+            assert len(trace) > 100, name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            olden_benchmark("nope")
+
+    def test_instruction_rates_plausible(self):
+        """Olden codes average a few instructions per memory access."""
+        for name in OLDEN_BENCHMARKS:
+            trace = olden_benchmark(name, scale=0.05)
+            rate = trace.instruction_count / len(trace)
+            assert 1.0 <= rate <= 10.0, (name, rate)

@@ -1,0 +1,57 @@
+"""The extension Olden benchmarks (treeadd, perimeter)."""
+
+import pytest
+
+from repro.olden import OLDEN_EXTENSIONS, olden_benchmark
+from repro.olden.perimeter import perimeter
+from repro.olden.treeadd import treeadd
+from repro.traces.trace import measure_trace
+
+
+class TestTreeadd:
+    def test_sum_verified(self):
+        # treeadd raises internally if the traced sum is wrong.
+        trace = treeadd(levels=8, iterations=2)
+        assert len(trace) > 0
+
+    def test_repeated_walks_revisit_same_lines(self):
+        one = measure_trace(treeadd(levels=8, iterations=1).accesses())
+        two = measure_trace(treeadd(levels=8, iterations=2).accesses())
+        # Double the walks, same footprint: pure reuse.
+        assert two.distinct_lines == one.distinct_lines
+        assert two.accesses >= 1.4 * one.accesses
+
+    def test_pointer_loads_tagged(self):
+        trace = treeadd(levels=6)
+        assert trace.pointer_load_count > 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            treeadd(levels=0)
+        with pytest.raises(ValueError):
+            treeadd(levels=3, iterations=0)
+
+
+class TestPerimeter:
+    def test_perimeter_verified_against_raster(self):
+        # perimeter raises internally on mismatch with brute force.
+        trace = perimeter(levels=5, iterations=1)
+        assert len(trace) > 0
+
+    def test_larger_image_more_work(self):
+        small = len(perimeter(levels=4))
+        large = len(perimeter(levels=6))
+        assert large > 2 * small
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            perimeter(levels=0)
+        with pytest.raises(ValueError):
+            perimeter(levels=4, iterations=0)
+
+
+class TestRegistry:
+    def test_extensions_run_via_registry(self):
+        for name in OLDEN_EXTENSIONS:
+            trace = olden_benchmark(name, scale=0.1)
+            assert len(trace) > 100, name

@@ -1,0 +1,70 @@
+"""Transition graph construction and queries."""
+
+from repro.partition.graph import TransitionGraph, build_transition_graph
+
+
+class TestTransitionGraph:
+    def test_add_and_weight(self):
+        g = TransitionGraph()
+        g.add_transition(1, 2)
+        g.add_transition(1, 2)
+        assert g.weight(1, 2) == 2
+        assert g.weight(2, 1) == 2  # undirected
+
+    def test_self_transition_ignored_for_weight(self):
+        g = TransitionGraph()
+        g.add_transition(1, 1)
+        assert g.total_weight == 0
+        assert 1 in g.nodes  # but the node is tracked
+
+    def test_degree(self):
+        g = TransitionGraph()
+        g.add_transition(1, 2, weight=3)
+        g.add_transition(1, 3, weight=2)
+        assert g.degree(1) == 5
+
+    def test_cut_weight(self):
+        g = TransitionGraph()
+        g.add_transition(1, 2)
+        g.add_transition(2, 3)
+        g.add_transition(3, 4)
+        assert g.cut_weight({1, 2}) == 1  # only edge 2-3 crosses
+
+    def test_edges_enumerated_once(self):
+        g = TransitionGraph()
+        g.add_transition(1, 2)
+        g.add_transition(2, 3, weight=4)
+        edges = sorted(g.edges())
+        assert edges == [(1, 2, 1), (2, 3, 4)]
+
+    def test_invalid_weight(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            TransitionGraph().add_transition(1, 2, weight=0)
+
+
+class TestBuildFromStream:
+    def test_circular_stream_is_a_cycle(self):
+        g = build_transition_graph([0, 1, 2, 0, 1, 2, 0])
+        assert g.weight(0, 1) == 2
+        assert g.weight(2, 0) == 2
+        assert g.num_nodes == 3
+
+    def test_empty_stream(self):
+        g = build_transition_graph([])
+        assert g.num_nodes == 0
+        assert g.total_weight == 0
+
+    def test_cut_fraction_equals_replayed_transitions(self):
+        """Graph cut weight = number of subset changes when replaying
+        the same stream against the same static partition."""
+        from repro.partition.metrics import replay_transition_frequency
+
+        stream = [0, 1, 2, 3, 0, 1, 2, 3, 0, 2, 1, 3]
+        g = build_transition_graph(stream)
+        side_a = {0, 1}
+        frequency = replay_transition_frequency(
+            stream, lambda line: 0 if line in side_a else 1
+        )
+        assert g.cut_weight(side_a) == round(frequency * (len(stream) - 1))

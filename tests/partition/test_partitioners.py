@@ -1,0 +1,98 @@
+"""Kernighan-Lin and the static baselines."""
+
+import pytest
+
+from repro.partition.graph import build_transition_graph
+from repro.partition.kernighan_lin import kernighan_lin_bipartition
+from repro.partition.metrics import evaluate_partition
+from repro.partition.static import (
+    address_halving_split,
+    modulo_split,
+    random_split,
+)
+from repro.traces.synthetic import Circular, HalfRandom, UniformRandom
+
+
+class TestKernighanLin:
+    def test_empty_graph(self):
+        g = build_transition_graph([])
+        assert kernighan_lin_bipartition(g) == (set(), set())
+
+    def test_balanced_sizes(self):
+        g = build_transition_graph(list(Circular(40).addresses(400)))
+        a, b = kernighan_lin_bipartition(g)
+        assert abs(len(a) - len(b)) <= 1
+        assert a | b == set(range(40))
+
+    def test_finds_the_obvious_cut(self):
+        """Two cliques joined by one edge: KL must separate them."""
+        stream = []
+        for _ in range(20):
+            stream.extend([0, 1, 2, 3])  # clique A
+        stream.append(4)  # single crossing
+        for _ in range(20):
+            stream.extend([4, 5, 6, 7])  # clique B
+        g = build_transition_graph(stream)
+        a, b = kernighan_lin_bipartition(g, seed=1)
+        quality = evaluate_partition(g, a, b)
+        assert {0, 1, 2, 3} in (a, b)
+        assert quality.cut_fraction < 0.05
+
+    def test_improves_on_random_for_halfrandom(self):
+        stream = list(HalfRandom(40, 10, seed=2).addresses(3000))
+        g = build_transition_graph(stream)
+        kl_a, kl_b = kernighan_lin_bipartition(g, seed=0)
+        rnd_a, rnd_b = random_split(g.nodes, seed=0)
+        kl_cut = evaluate_partition(g, kl_a, kl_b).cut_fraction
+        rnd_cut = evaluate_partition(g, rnd_a, rnd_b).cut_fraction
+        assert kl_cut < rnd_cut
+
+    def test_deterministic_for_seed(self):
+        g = build_transition_graph(list(Circular(30).addresses(300)))
+        assert kernighan_lin_bipartition(g, seed=5) == kernighan_lin_bipartition(
+            g, seed=5
+        )
+
+
+class TestStaticBaselines:
+    def test_random_split_balanced(self):
+        a, b = random_split(range(100))
+        assert abs(len(a) - len(b)) <= 1
+        assert a | b == set(range(100))
+
+    def test_modulo_split(self):
+        a, b = modulo_split(range(10))
+        assert a == {0, 2, 4, 6, 8}
+        assert b == {1, 3, 5, 7, 9}
+
+    def test_address_halving(self):
+        a, b = address_halving_split([5, 1, 9, 3])
+        assert a == {1, 3}
+        assert b == {5, 9}
+
+    def test_random_split_on_random_stream_cuts_half(self):
+        """Section 3.4: 'however we split the set in two parts of equal
+        size, the transition frequency equals 1/2' on a random stream."""
+        stream = list(UniformRandom(200, seed=0).addresses(20_000))
+        g = build_transition_graph(stream)
+        a, b = random_split(g.nodes, seed=1)
+        quality = evaluate_partition(g, a, b)
+        assert quality.cut_fraction == pytest.approx(0.5, abs=0.03)
+
+
+class TestMetrics:
+    def test_overlapping_sides_rejected(self):
+        g = build_transition_graph([0, 1])
+        with pytest.raises(ValueError):
+            evaluate_partition(g, {0, 1}, {1})
+
+    def test_balance_property(self):
+        g = build_transition_graph([0, 1, 2, 3])
+        q = evaluate_partition(g, {0}, {1, 2, 3})
+        assert q.balance == 0.75
+
+    def test_empty_quality(self):
+        g = build_transition_graph([])
+        q = evaluate_partition(g, set(), set())
+        assert q.cut_fraction == 0.0
+        assert q.balance == 0.5

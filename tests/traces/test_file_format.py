@@ -1,0 +1,79 @@
+"""Trace file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.traces.file_format import FileTrace, load_trace, save_trace
+from repro.traces.synthetic import Circular, behavior_trace
+from repro.traces.trace import AccessKind
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        path = tmp_path / "t.npz"
+        original = list(behavior_trace(Circular(50), 500))
+        count = save_trace(path, original)
+        assert count == 500
+        loaded = load_trace(path)
+        assert list(loaded.accesses()) == original
+
+    def test_replayable(self, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(path, behavior_trace(Circular(10), 50))
+        trace = load_trace(path)
+        assert list(trace.accesses()) == list(trace.accesses())
+
+    def test_metadata(self, tmp_path):
+        path = tmp_path / "mytrace.npz"
+        save_trace(path, behavior_trace(Circular(10), 50))
+        trace = load_trace(path)
+        assert len(trace) == 50
+        assert trace.name == "mytrace"
+        assert trace.instruction_count > 0
+
+    def test_kinds_preserved(self, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(
+            path,
+            behavior_trace(Circular(10), 20, kind=AccessKind.STORE),
+        )
+        assert all(
+            a.kind is AccessKind.STORE for a in load_trace(path).accesses()
+        )
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "t.npz"
+        assert save_trace(path, []) == 0
+        trace = load_trace(path)
+        assert len(trace) == 0
+        assert trace.instruction_count == 0
+
+
+class TestValidation:
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "t.npz"
+        np.savez_compressed(
+            path,
+            version=np.int64(99),
+            addresses=np.zeros(0, dtype=np.int64),
+            kinds=np.zeros(0, dtype=np.int8),
+            instructions=np.zeros(0, dtype=np.int64),
+        )
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            FileTrace(
+                "x",
+                np.zeros(2, dtype=np.int64),
+                np.zeros(1, dtype=np.int8),
+                np.zeros(2, dtype=np.int64),
+            )
+
+    def test_file_trace_is_trace_source(self, tmp_path):
+        from repro.traces.trace import TraceSource
+
+        path = tmp_path / "t.npz"
+        save_trace(path, behavior_trace(Circular(4), 8))
+        assert isinstance(load_trace(path), TraceSource)

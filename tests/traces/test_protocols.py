@@ -1,0 +1,49 @@
+"""Protocol compliance: everything that claims to be a trace source or
+line stream satisfies the structural interfaces."""
+
+from repro.olden.heap import TracedHeap
+from repro.traces.spec_models import spec_model
+from repro.traces.synthetic import (
+    Circular,
+    HalfRandom,
+    PermutationCycle,
+    SequenceBehavior,
+    Stride,
+    UniformRandom,
+)
+from repro.traces.trace import Access, LineStream, TraceSource
+
+
+class TestLineStreamProtocol:
+    def test_all_synthetic_behaviours_conform(self):
+        behaviors = [
+            Circular(4),
+            HalfRandom(4, 2),
+            UniformRandom(4),
+            Stride(4),
+            PermutationCycle(4),
+            SequenceBehavior([0, 1]),
+        ]
+        for behavior in behaviors:
+            assert isinstance(behavior, LineStream), type(behavior)
+            assert behavior.num_lines > 0
+            assert all(
+                0 <= e < behavior.num_lines for e in behavior.addresses(20)
+            )
+
+
+class TestTraceSourceProtocol:
+    def test_spec_model_conforms(self):
+        model = spec_model("179.art", length=100)
+        assert isinstance(model, TraceSource)
+        accesses = list(model.accesses())
+        assert len(accesses) == 100
+        assert all(isinstance(a, Access) for a in accesses)
+
+    def test_recorded_trace_conforms(self):
+        heap = TracedHeap("t")
+        obj = heap.allocate(["x"])
+        obj.set("x", 1)
+        trace = heap.finish()
+        assert isinstance(trace, TraceSource)
+        assert all(isinstance(a, Access) for a in trace.accesses())

@@ -1,0 +1,60 @@
+"""The trace model."""
+
+from repro.traces.trace import (
+    Access,
+    AccessKind,
+    TraceStats,
+    line_address,
+    measure_trace,
+)
+
+
+class TestAccess:
+    def test_defaults(self):
+        a = Access(128)
+        assert a.kind is AccessKind.LOAD
+        assert a.instruction == 0
+
+    def test_is_write(self):
+        assert Access(0, AccessKind.STORE).is_write
+        assert not Access(0, AccessKind.LOAD).is_write
+
+    def test_is_fetch(self):
+        assert Access(0, AccessKind.FETCH).is_fetch
+        assert not Access(0, AccessKind.STORE).is_fetch
+
+
+class TestLineAddress:
+    def test_divides_by_line_size(self):
+        assert line_address(0, 64) == 0
+        assert line_address(63, 64) == 0
+        assert line_address(64, 64) == 1
+        assert line_address(130, 64) == 2
+
+
+class TestTraceStats:
+    def test_counts_by_kind(self):
+        stats = TraceStats()
+        stats.record(Access(0, AccessKind.FETCH, 0))
+        stats.record(Access(64, AccessKind.LOAD, 1))
+        stats.record(Access(64, AccessKind.STORE, 2))
+        assert (stats.fetches, stats.loads, stats.stores) == (1, 1, 1)
+        assert stats.accesses == 3
+
+    def test_distinct_lines(self):
+        stats = TraceStats()
+        for address in (0, 32, 64, 64):
+            stats.record(Access(address, AccessKind.LOAD, 0))
+        assert stats.distinct_lines == 2
+
+    def test_instruction_high_watermark(self):
+        stats = TraceStats()
+        stats.record(Access(0, AccessKind.LOAD, 41))
+        assert stats.instructions == 42
+
+    def test_measure_trace(self):
+        trace = [Access(i * 64, AccessKind.LOAD, i) for i in range(10)]
+        stats = measure_trace(trace)
+        assert stats.accesses == 10
+        assert stats.distinct_lines == 10
+        assert stats.footprint_bytes == 640
