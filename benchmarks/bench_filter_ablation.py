@@ -9,17 +9,17 @@ filter level under the paper's saturated-affinity idealisation.
 
 from conftest import run_once
 
-from repro.analysis.sweeps import filter_width_sweep
+from repro.analysis.sweeps import filter_width_sweep_with_runtime
 from repro.common.rng import make_rng
 from repro.core.transition_filter import TransitionFilter
-from repro.traces.synthetic import HalfRandom, UniformRandom
 
 
-def test_filter_width_on_random_set(benchmark):
+def test_filter_width_on_random_set(benchmark, bench_runtime):
     points = run_once(
         benchmark,
-        lambda: filter_width_sweep(
-            lambda: UniformRandom(3000, seed=9),
+        lambda: filter_width_sweep_with_runtime(
+            bench_runtime,
+            {"type": "uniform", "num_lines": 3000, "seed": 9},
             filter_bits_list=[16, 17, 18, 19],
             num_references=600_000,
         ),
@@ -68,14 +68,15 @@ def test_halving_law_saturated(benchmark):
     assert results[20] < 0.04
 
 
-def test_filter_width_delay_on_splittable_set(benchmark):
+def test_filter_width_delay_on_splittable_set(benchmark, bench_runtime):
     """Wider filters keep splittable sets transitioning, just later:
     the frequency stays near 1/m, the per-transition delay grows."""
     burst = 200
     points = run_once(
         benchmark,
-        lambda: filter_width_sweep(
-            lambda: HalfRandom(1000, burst, seed=2),
+        lambda: filter_width_sweep_with_runtime(
+            bench_runtime,
+            {"type": "halfrandom", "num_lines": 1000, "burst": burst, "seed": 2},
             filter_bits_list=[16, 18, 20],
             num_references=500_000,
             window_size=100,

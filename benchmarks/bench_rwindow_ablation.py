@@ -8,19 +8,24 @@ Checks the paper's two R-window claims:
   ("the R-window acts as a sort of low-pass filter");
 * HalfRandom(m) wants |R| not much larger than m ("one should not take
   |R| much larger than m").
+
+Sweep points are submitted as jobs through the shared
+:mod:`repro.runtime` (see ``conftest.bench_runtime``): reruns resolve
+from the ``REPRO_CACHE_DIR`` result cache, and ``REPRO_BENCH_JOBS``
+fans points out over worker processes.
 """
 
 from conftest import run_once
 
-from repro.analysis.sweeps import rwindow_sweep
-from repro.traces.synthetic import Circular, HalfRandom
+from repro.analysis.sweeps import rwindow_sweep_with_runtime
 
 
-def test_rwindow_circular(benchmark):
+def test_rwindow_circular(benchmark, bench_runtime):
     points = run_once(
         benchmark,
-        lambda: rwindow_sweep(
-            lambda: Circular(800),
+        lambda: rwindow_sweep_with_runtime(
+            bench_runtime,
+            {"type": "circular", "num_lines": 800},
             window_sizes=[25, 50, 100, 200, 400, 800],
             num_references=600_000,
         ),
@@ -45,14 +50,15 @@ def test_rwindow_circular(benchmark):
     }
 
 
-def test_rwindow_halfrandom(benchmark):
+def test_rwindow_halfrandom(benchmark, bench_runtime):
     """|R| ~ m splits HalfRandom(m); |R| >> m loses the positive
     feedback ('the positive feedback effect is lost in noise')."""
     burst = 50
     points = run_once(
         benchmark,
-        lambda: rwindow_sweep(
-            lambda: HalfRandom(1200, burst, seed=1),
+        lambda: rwindow_sweep_with_runtime(
+            bench_runtime,
+            {"type": "halfrandom", "num_lines": 1200, "burst": burst, "seed": 1},
             window_sizes=[25, 50, 400],
             num_references=600_000,
         ),

@@ -7,19 +7,53 @@ at a configurable scale:
   trace length.  ``pytest benchmarks/ --benchmark-only`` at the default
   scale finishes in ~20 minutes on one core; ``REPRO_BENCH_SCALE=1.0``
   reproduces the EXPERIMENTS.md numbers (about 4x longer).
+* ``REPRO_CACHE_DIR`` points every benchmark at one shared
+  :mod:`repro.runtime` result cache (default ``.repro-cache``), so
+  re-running a benchmark session skips already-simulated jobs and CI
+  can pin the cache to a workspace path for hermetic runs.
+* ``REPRO_BENCH_JOBS`` (default 1) sets the runtime worker count for
+  benchmarks that fan sweep points out through the runtime.
 * Regenerated rows are printed (run with ``-s`` to see them) and the
   headline numbers are attached to each benchmark's ``extra_info`` so
   they land in the pytest-benchmark JSON.
 """
 
 import os
+from pathlib import Path
 
 import pytest
+
+from repro.runtime import (
+    EventBus,
+    ExperimentRuntime,
+    ResultCache,
+    RuntimeConfig,
+    StderrSink,
+)
 
 
 @pytest.fixture(scope="session")
 def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+
+
+@pytest.fixture(scope="session")
+def bench_cache_dir() -> Path:
+    """One cache directory shared by every benchmark in the session."""
+    path = Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_runtime(bench_cache_dir: Path) -> ExperimentRuntime:
+    """The session's shared experiment runtime (jobs via REPRO_BENCH_JOBS)."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    return ExperimentRuntime(
+        config=RuntimeConfig(jobs=jobs),
+        cache=ResultCache(root=bench_cache_dir),
+        bus=EventBus([StderrSink()]),
+    )
 
 
 def run_once(benchmark, fn):

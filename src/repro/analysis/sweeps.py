@@ -18,11 +18,13 @@ Each sweep returns small result records the ablation benchmarks print.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Callable, Iterable, Sequence
 
 from repro.core.controller import ControllerConfig, MigrationController
 from repro.core.sampling import SamplingPolicy
+from repro.runtime import Job, payloads
+from repro.traces.synthetic import behavior_from_spec
 
 
 def _run_controller(
@@ -77,6 +79,58 @@ class RWindowSweepPoint:
         return balanced and converged and stable
 
 
+def rwindow_point(
+    behavior: object,
+    window_size: int,
+    num_references: int = 400_000,
+    filter_bits: int = 16,
+) -> RWindowSweepPoint:
+    """Measure one (behaviour, |R|) point of the R-window sweep."""
+    config = ControllerConfig(
+        num_subsets=2, x_window_size=window_size, filter_bits=filter_bits
+    )
+    controller = MigrationController(config)
+    references = list(behavior.addresses(num_references))
+    tail_start = int(len(references) * 0.75)
+    # Half a working-set lap apart: a genuinely split assignment is
+    # unchanged at any offset, while the rotating-wave state at
+    # N <= 2|R| is caught mid-rotation (a full lap would alias).
+    snapshot_at = max(0, len(references) - behavior.num_lines // 2 - 1)
+    transitions_at_tail = 0
+    earlier_signs: "dict[int, bool]" = {}
+    for i, line in enumerate(references):
+        if i == tail_start:
+            transitions_at_tail = controller.stats.transitions
+        if i == snapshot_at:
+            earlier_signs = {
+                e: (controller.affinity_of(e) or 0) >= 0
+                for e in range(behavior.num_lines)
+            }
+        controller.observe(line)
+    stats = controller.stats
+    tail = (stats.transitions - transitions_at_tail) / max(
+        1, len(references) - tail_start
+    )
+    final_signs = {
+        e: (controller.affinity_of(e) or 0) >= 0
+        for e in range(behavior.num_lines)
+    }
+    positive = sum(final_signs.values())
+    changed = sum(
+        1
+        for e, sign in final_signs.items()
+        if earlier_signs and sign != earlier_signs[e]
+    )
+    return RWindowSweepPoint(
+        window_size=window_size,
+        working_set=behavior.num_lines,
+        overall_frequency=stats.transition_frequency,
+        tail_frequency=tail,
+        balance=positive / behavior.num_lines,
+        instability=changed / behavior.num_lines,
+    )
+
+
 def rwindow_sweep(
     behavior_factory: "Callable[[], object]",
     window_sizes: "Sequence[int]",
@@ -84,55 +138,15 @@ def rwindow_sweep(
     filter_bits: int = 16,
 ) -> "list[RWindowSweepPoint]":
     """Sweep |R| for a 2-way controller over one behaviour."""
-    points = []
-    for window in window_sizes:
-        behavior = behavior_factory()
-        config = ControllerConfig(
-            num_subsets=2, x_window_size=window, filter_bits=filter_bits
+    return [
+        rwindow_point(
+            behavior_factory(),
+            window,
+            num_references=num_references,
+            filter_bits=filter_bits,
         )
-        controller = MigrationController(config)
-        references = list(behavior.addresses(num_references))
-        tail_start = int(len(references) * 0.75)
-        # Half a working-set lap apart: a genuinely split assignment is
-        # unchanged at any offset, while the rotating-wave state at
-        # N <= 2|R| is caught mid-rotation (a full lap would alias).
-        snapshot_at = max(0, len(references) - behavior.num_lines // 2 - 1)
-        transitions_at_tail = 0
-        earlier_signs: "dict[int, bool]" = {}
-        for i, line in enumerate(references):
-            if i == tail_start:
-                transitions_at_tail = controller.stats.transitions
-            if i == snapshot_at:
-                earlier_signs = {
-                    e: (controller.affinity_of(e) or 0) >= 0
-                    for e in range(behavior.num_lines)
-                }
-            controller.observe(line)
-        stats = controller.stats
-        tail = (stats.transitions - transitions_at_tail) / max(
-            1, len(references) - tail_start
-        )
-        final_signs = {
-            e: (controller.affinity_of(e) or 0) >= 0
-            for e in range(behavior.num_lines)
-        }
-        positive = sum(final_signs.values())
-        changed = sum(
-            1
-            for e, sign in final_signs.items()
-            if earlier_signs and sign != earlier_signs[e]
-        )
-        points.append(
-            RWindowSweepPoint(
-                window_size=window,
-                working_set=behavior.num_lines,
-                overall_frequency=stats.transition_frequency,
-                tail_frequency=tail,
-                balance=positive / behavior.num_lines,
-                instability=changed / behavior.num_lines,
-            )
-        )
-    return points
+        for window in window_sizes
+    ]
 
 
 @dataclass(frozen=True)
@@ -173,6 +187,47 @@ class SamplingSweepPoint:
     filter_updates: int
 
 
+def sampling_point(
+    behavior: object,
+    sampled_residues: int,
+    num_references: int = 400_000,
+    config_base: "ControllerConfig | None" = None,
+) -> SamplingSweepPoint:
+    """Measure one sampling-ratio point (31 residues = unsampled)."""
+    if not 1 <= sampled_residues <= 31:
+        raise ValueError(f"residue count {sampled_residues} outside [1, 31]")
+    sampling = (
+        SamplingPolicy.full()
+        if sampled_residues == 31
+        else SamplingPolicy(
+            modulus=31, sampled_residues=frozenset(range(sampled_residues))
+        )
+    )
+    base = config_base or ControllerConfig(num_subsets=2, filter_bits=18)
+    config = ControllerConfig(
+        num_subsets=base.num_subsets,
+        affinity_bits=base.affinity_bits,
+        filter_bits=base.filter_bits,
+        x_window_size=base.x_window_size,
+        y_window_size=base.y_window_size,
+        sampling=sampling,
+        affinity_cache_entries=base.affinity_cache_entries,
+        affinity_cache_ways=base.affinity_cache_ways,
+        l2_filtering=base.l2_filtering,
+        lru_window=base.lru_window,
+    )
+    controller = MigrationController(config)
+    for line in behavior.addresses(num_references):
+        controller.observe(line)
+    stats = controller.stats
+    return SamplingSweepPoint(
+        sampled_residues=sampled_residues,
+        sample_fraction=sampling.sample_fraction,
+        overall_frequency=stats.transition_frequency,
+        filter_updates=stats.filter_updates,
+    )
+
+
 def sampling_sweep(
     behavior_factory: "Callable[[], object]",
     residue_counts: "Sequence[int]",
@@ -180,39 +235,160 @@ def sampling_sweep(
     config_base: "ControllerConfig | None" = None,
 ) -> "list[SamplingSweepPoint]":
     """Sweep the working-set sampling ratio (31 = unsampled)."""
-    points = []
-    for count in residue_counts:
-        if not 1 <= count <= 31:
-            raise ValueError(f"residue count {count} outside [1, 31]")
-        sampling = (
-            SamplingPolicy.full()
-            if count == 31
-            else SamplingPolicy(modulus=31, sampled_residues=frozenset(range(count)))
+    return [
+        sampling_point(
+            behavior_factory(),
+            count,
+            num_references=num_references,
+            config_base=config_base,
         )
-        base = config_base or ControllerConfig(num_subsets=2, filter_bits=18)
-        config = ControllerConfig(
-            num_subsets=base.num_subsets,
-            affinity_bits=base.affinity_bits,
-            filter_bits=base.filter_bits,
-            x_window_size=base.x_window_size,
-            y_window_size=base.y_window_size,
-            sampling=sampling,
-            affinity_cache_entries=base.affinity_cache_entries,
-            affinity_cache_ways=base.affinity_cache_ways,
-            l2_filtering=base.l2_filtering,
-            lru_window=base.lru_window,
+        for count in residue_counts
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Runtime jobs: each sweep point as a pure, cacheable unit of work.
+#
+# Behaviours are passed as declarative specs (see
+# :func:`repro.traces.synthetic.behavior_from_spec`) so jobs are
+# JSON-able — that is what gives them stable content hashes for the
+# result cache and lets workers rebuild them in any process.
+# ---------------------------------------------------------------------------
+
+
+def rwindow_point_job(
+    behavior: "dict[str, object]",
+    window_size: int,
+    num_references: int = 400_000,
+    filter_bits: int = 16,
+) -> "dict[str, object]":
+    point = rwindow_point(
+        behavior_from_spec(behavior),
+        window_size,
+        num_references=num_references,
+        filter_bits=filter_bits,
+    )
+    payload = asdict(point)
+    payload["references"] = num_references
+    return payload
+
+
+def filter_point_job(
+    behavior: "dict[str, object]",
+    filter_bits: int,
+    num_references: int = 400_000,
+    window_size: int = 100,
+) -> "dict[str, object]":
+    config = ControllerConfig(
+        num_subsets=2, x_window_size=window_size, filter_bits=filter_bits
+    )
+    _overall, tail, _count = _run_controller(
+        config, behavior_from_spec(behavior).addresses(num_references)
+    )
+    return {
+        "filter_bits": filter_bits,
+        "tail_frequency": tail,
+        "references": num_references,
+    }
+
+
+def sampling_point_job(
+    behavior: "dict[str, object]",
+    sampled_residues: int,
+    num_references: int = 400_000,
+) -> "dict[str, object]":
+    point = sampling_point(
+        behavior_from_spec(behavior),
+        sampled_residues,
+        num_references=num_references,
+    )
+    payload = asdict(point)
+    payload["references"] = num_references
+    return payload
+
+
+def rwindow_sweep_with_runtime(
+    runtime,
+    behavior_spec: "dict[str, object]",
+    window_sizes: "Sequence[int]",
+    num_references: int = 400_000,
+    filter_bits: int = 16,
+) -> "list[RWindowSweepPoint]":
+    """R-window sweep with one cached runtime job per point."""
+    jobs = [
+        Job.create(
+            "repro.analysis.sweeps:rwindow_point_job",
+            label=f"rwindow/{behavior_spec.get('type')}/R{window}",
+            behavior=dict(behavior_spec),
+            window_size=window,
+            num_references=num_references,
+            filter_bits=filter_bits,
         )
-        controller = MigrationController(config)
-        behavior = behavior_factory()
-        for line in behavior.addresses(num_references):
-            controller.observe(line)
-        stats = controller.stats
-        points.append(
-            SamplingSweepPoint(
-                sampled_residues=count,
-                sample_fraction=sampling.sample_fraction,
-                overall_frequency=stats.transition_frequency,
-                filter_updates=stats.filter_updates,
-            )
+        for window in window_sizes
+    ]
+    return [
+        RWindowSweepPoint(
+            window_size=p["window_size"],
+            working_set=p["working_set"],
+            overall_frequency=p["overall_frequency"],
+            tail_frequency=p["tail_frequency"],
+            balance=p["balance"],
+            instability=p["instability"],
         )
-    return points
+        for p in payloads(runtime.map(jobs))
+    ]
+
+
+def filter_width_sweep_with_runtime(
+    runtime,
+    behavior_spec: "dict[str, object]",
+    filter_bits_list: "Sequence[int]",
+    num_references: int = 400_000,
+    window_size: int = 100,
+) -> "list[FilterSweepPoint]":
+    """Filter-width sweep with one cached runtime job per point."""
+    jobs = [
+        Job.create(
+            "repro.analysis.sweeps:filter_point_job",
+            label=f"filter/{behavior_spec.get('type')}/F{bits}",
+            behavior=dict(behavior_spec),
+            filter_bits=bits,
+            num_references=num_references,
+            window_size=window_size,
+        )
+        for bits in filter_bits_list
+    ]
+    return [
+        FilterSweepPoint(
+            filter_bits=p["filter_bits"], tail_frequency=p["tail_frequency"]
+        )
+        for p in payloads(runtime.map(jobs))
+    ]
+
+
+def sampling_sweep_with_runtime(
+    runtime,
+    behavior_spec: "dict[str, object]",
+    residue_counts: "Sequence[int]",
+    num_references: int = 400_000,
+) -> "list[SamplingSweepPoint]":
+    """Sampling-ratio sweep with one cached runtime job per point."""
+    jobs = [
+        Job.create(
+            "repro.analysis.sweeps:sampling_point_job",
+            label=f"sampling/{behavior_spec.get('type')}/{count}residues",
+            behavior=dict(behavior_spec),
+            sampled_residues=count,
+            num_references=num_references,
+        )
+        for count in residue_counts
+    ]
+    return [
+        SamplingSweepPoint(
+            sampled_residues=p["sampled_residues"],
+            sample_fraction=p["sample_fraction"],
+            overall_frequency=p["overall_frequency"],
+            filter_updates=p["filter_updates"],
+        )
+        for p in payloads(runtime.map(jobs))
+    ]

@@ -8,6 +8,8 @@ and sub-streams are independent.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 
@@ -21,6 +23,21 @@ def make_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def mix_seed(*parts: "int | str") -> int:
+    """Derive one 63-bit seed from several parts, deterministically.
+
+    Built on SHA-256 (not ``hash()``) so the result is identical across
+    processes and interpreter runs regardless of ``PYTHONHASHSEED`` —
+    the runtime's job hashes and the ``--seed`` plumbing both rely on
+    reseeding being reproducible in worker processes.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x00")
+    return int.from_bytes(digest.digest()[:8], "big") >> 1
 
 
 def split_rng(rng: np.random.Generator, count: int) -> "list[np.random.Generator]":

@@ -13,12 +13,13 @@ summary statistics and the raw series for plotting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Sequence
 
 from repro.core.affinity_store import UnboundedAffinityStore
 from repro.core.mechanism import SplitMechanism
 from repro.experiments.report import render_rows, section
+from repro.runtime import Job, payloads
 from repro.traces.synthetic import Circular, HalfRandom
 
 PAPER_SNAPSHOT_TIMES = (20_000, 100_000, 1_000_000)
@@ -110,6 +111,53 @@ def run_figure3(
                 last_transitions = transitions
         results[label] = snapshots
     return results
+
+
+def figure3_job(
+    num_elements: int = 4000,
+    window_size: int = 100,
+    half_random_burst: int = 300,
+) -> "dict[str, object]":
+    """Runtime job: both Figure 3 behaviours as a JSON-able payload."""
+    results = run_figure3(
+        num_elements=num_elements,
+        window_size=window_size,
+        half_random_burst=half_random_burst,
+    )
+    return {
+        "results": {
+            label: [asdict(snapshot) for snapshot in snapshots]
+            for label, snapshots in results.items()
+        },
+        # both behaviours stream up to the last snapshot instant
+        "references": len(results) * max(PAPER_SNAPSHOT_TIMES),
+    }
+
+
+def figure3_from_payload(
+    payload: "dict[str, object]",
+) -> "dict[str, list[Figure3Snapshot]]":
+    return {
+        label: [
+            Figure3Snapshot(
+                behavior=d["behavior"],
+                time=d["time"],
+                affinities=tuple(d["affinities"]),
+                transitions_so_far=d["transitions_so_far"],
+                tail_transition_frequency=d["tail_transition_frequency"],
+            )
+            for d in snapshots
+        ]
+        for label, snapshots in payload["results"].items()
+    }
+
+
+def run_figure3_with_runtime(runtime) -> "dict[str, list[Figure3Snapshot]]":
+    """Run (or fetch from cache) Figure 3 as one runtime job."""
+    job = Job.create(
+        "repro.experiments.figure3:figure3_job", label="figure3"
+    )
+    return figure3_from_payload(payloads(runtime.map([job]))[0])
 
 
 def render_figure3(results: "dict[str, list[Figure3Snapshot]]") -> str:

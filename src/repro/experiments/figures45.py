@@ -10,7 +10,7 @@ frequency and a splittability verdict.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Sequence
 
 from repro.analysis.splittability import SplittabilityReport, splittability_report
@@ -22,6 +22,7 @@ from repro.analysis.stack_profiles import (
 )
 from repro.experiments.report import ascii_curve, render_rows, section
 from repro.experiments.workloads import WORKLOAD_NAMES, workload
+from repro.runtime import Job, payloads
 from repro.traces.filters import L1Filter, L1FilterConfig
 
 
@@ -37,30 +38,118 @@ class FigureProfileRow:
     verdict: SplittabilityReport
 
 
+def run_figures45_for(
+    name: str,
+    scale: float = 1.0,
+    seed: "int | None" = None,
+    sizes_lines: "Sequence[int]" = PAPER_CACHE_SIZES_LINES,
+) -> FigureProfileRow:
+    """Run the stack experiment for one workload."""
+    spec = workload(name, scale=scale, seed=seed)
+    l1 = L1Filter(L1FilterConfig())
+    filtered = (ref.line for ref in l1.filter(spec.accesses()))
+    result: StackExperimentResult = run_stack_experiment(filtered, name=name)
+    p1_curve, p4_curve = result.curves(sizes_lines)
+    return FigureProfileRow(
+        name=name,
+        references=result.references,
+        p1_curve=tuple(p1_curve),
+        p4_curve=tuple(p4_curve),
+        transition_frequency=result.transition_frequency,
+        verdict=splittability_report(result, sizes_lines),
+    )
+
+
+def figures45_job(
+    name: str,
+    scale: float = 1.0,
+    seed: "int | None" = None,
+    sizes_lines: "Sequence[int] | None" = None,
+) -> "dict[str, object]":
+    """Runtime job: one Figure 4/5 panel as a JSON-able payload."""
+    row = run_figures45_for(
+        name,
+        scale=scale,
+        seed=seed,
+        sizes_lines=(
+            tuple(sizes_lines)
+            if sizes_lines is not None
+            else PAPER_CACHE_SIZES_LINES
+        ),
+    )
+    payload = asdict(row)
+    payload["p1_curve"] = list(row.p1_curve)
+    payload["p4_curve"] = list(row.p4_curve)
+    payload["references"] = row.references
+    return payload
+
+
+def figures45_row_from_payload(
+    payload: "dict[str, object]",
+) -> FigureProfileRow:
+    verdict = payload["verdict"]
+    return FigureProfileRow(
+        name=payload["name"],
+        references=payload["references"],
+        p1_curve=tuple(payload["p1_curve"]),
+        p4_curve=tuple(payload["p4_curve"]),
+        transition_frequency=payload["transition_frequency"],
+        verdict=SplittabilityReport(
+            name=verdict["name"],
+            gap=verdict["gap"],
+            transition_frequency=verdict["transition_frequency"],
+            splittable=verdict["splittable"],
+        ),
+    )
+
+
+def figures45_jobs(
+    names: "Sequence[str]" = WORKLOAD_NAMES,
+    scale: float = 1.0,
+    seed: "int | None" = None,
+    sizes_lines: "Sequence[int] | None" = None,
+) -> "list[Job]":
+    extra = {}
+    if sizes_lines is not None:
+        extra["sizes_lines"] = list(sizes_lines)
+    return [
+        Job.create(
+            "repro.experiments.figures45:figures45_job",
+            label=f"figures45/{name}",
+            name=name,
+            scale=scale,
+            seed=seed,
+            **extra,
+        )
+        for name in names
+    ]
+
+
 def run_figures45(
     names: "Sequence[str]" = WORKLOAD_NAMES,
     scale: float = 1.0,
     sizes_lines: "Sequence[int]" = PAPER_CACHE_SIZES_LINES,
+    seed: "int | None" = None,
+    runtime=None,
 ) -> "list[FigureProfileRow]":
     """Run the stack experiment for every workload."""
-    rows = []
-    for name in names:
-        spec = workload(name, scale=scale)
-        l1 = L1Filter(L1FilterConfig())
-        filtered = (ref.line for ref in l1.filter(spec.accesses()))
-        result: StackExperimentResult = run_stack_experiment(filtered, name=name)
-        p1_curve, p4_curve = result.curves(sizes_lines)
-        rows.append(
-            FigureProfileRow(
-                name=name,
-                references=result.references,
-                p1_curve=tuple(p1_curve),
-                p4_curve=tuple(p4_curve),
-                transition_frequency=result.transition_frequency,
-                verdict=splittability_report(result, sizes_lines),
+    if runtime is None:
+        return [
+            run_figures45_for(
+                name, scale=scale, seed=seed, sizes_lines=sizes_lines
             )
-        )
-    return rows
+            for name in names
+        ]
+    jobs = figures45_jobs(
+        names,
+        scale=scale,
+        seed=seed,
+        sizes_lines=(
+            None if tuple(sizes_lines) == tuple(PAPER_CACHE_SIZES_LINES)
+            else sizes_lines
+        ),
+    )
+    return [figures45_row_from_payload(p) for p in payloads(runtime.map(jobs))]
 
 
 def render_figures45(

@@ -4,6 +4,14 @@ Options::
 
     python -m repro.experiments.run_all --scale 0.5 --only table2
     python -m repro.experiments.run_all --workloads 179.art 181.mcf
+    python -m repro.experiments.run_all --jobs 4 --seed 7 --runlog run.jsonl
+
+Every experiment fans its workloads out as jobs through
+:mod:`repro.runtime`: ``--jobs N`` runs them over N worker processes,
+finished jobs are cached in ``.repro-cache/`` (re-runs and interrupted
+runs resume from it; ``--no-cache`` disables), and per-job progress
+streams to stderr.  Tables are rendered from job payloads in workload
+order, so parallel output is byte-identical to serial output.
 
 The output of a full run (scale 1.0) is what EXPERIMENTS.md records.
 """
@@ -13,15 +21,52 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import traceback
 
-from repro.experiments.figure3 import render_figure3, run_figure3
+from repro.experiments.figure3 import render_figure3, run_figure3_with_runtime
 from repro.experiments.figures45 import render_figures45, run_figures45
 from repro.experiments.table1 import render_table1, run_table1
 from repro.experiments.speedups import project_speedups, render_speedups
 from repro.experiments.table2 import render_table2, run_table2
 from repro.experiments.workloads import WORKLOAD_NAMES
+from repro.runtime.scheduler import ExperimentRuntime, runtime_from_args
 
 _EXPERIMENTS = ("figure3", "table1", "figures45", "table2", "speedups")
+
+
+def _run_experiment(
+    experiment: str,
+    args: argparse.Namespace,
+    runtime: ExperimentRuntime,
+    table2_memo: "dict[str, list]",
+) -> str:
+    """Produce one experiment's rendered report."""
+    if experiment == "figure3":
+        return render_figure3(run_figure3_with_runtime(runtime))
+    if experiment == "table1":
+        return render_table1(
+            run_table1(
+                args.workloads, scale=args.scale, seed=args.seed, runtime=runtime
+            )
+        )
+    if experiment == "figures45":
+        return render_figures45(
+            run_figures45(
+                args.workloads, scale=args.scale, seed=args.seed, runtime=runtime
+            )
+        )
+    # table2 and speedups share the same underlying rows; memoise so one
+    # invocation selecting both simulates each workload once even with
+    # the cache disabled.
+    if "rows" not in table2_memo:
+        table2_memo["rows"] = run_table2(
+            args.workloads, scale=args.scale, seed=args.seed, runtime=runtime
+        )
+    if experiment == "table2":
+        return render_table2(table2_memo["rows"])
+    if experiment == "speedups":
+        return render_speedups(project_speedups(table2_memo["rows"]))
+    raise ValueError(f"unknown experiment {experiment!r}")
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -39,26 +84,102 @@ def main(argv: "list[str] | None" = None) -> int:
         default=list(WORKLOAD_NAMES),
         help="subset of workload names",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="re-derive every stochastic trace stream from this seed "
+        "(default: the calibrated per-workload seeds)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = in-process serial, for debugging)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock limit in seconds (parallel mode)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    parser.add_argument(
+        "--runlog",
+        default=None,
+        help="append structured per-job events to this JSONL file",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-job progress lines on stderr",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     selected = args.only or list(_EXPERIMENTS)
+    runtime = runtime_from_args(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        runlog=args.runlog,
+        quiet=args.quiet,
+    )
 
+    start = time.time()
+    failures: "list[tuple[str, str]]" = []
+    completed = 0
+    table2_memo: "dict[str, list]" = {}
     for experiment in selected:
-        start = time.time()
-        if experiment == "figure3":
-            print(render_figure3(run_figure3()))
-        elif experiment == "table1":
-            print(render_table1(run_table1(args.workloads, scale=args.scale)))
-        elif experiment == "figures45":
-            print(
-                render_figures45(run_figures45(args.workloads, scale=args.scale))
-            )
-        elif experiment == "table2":
-            print(render_table2(run_table2(args.workloads, scale=args.scale)))
-        elif experiment == "speedups":
-            rows = run_table2(args.workloads, scale=args.scale)
-            print(render_speedups(project_speedups(rows)))
-        print(f"[{experiment}: {time.time() - start:.1f}s]\n", file=sys.stderr)
-    return 0
+        experiment_start = time.time()
+        interrupted_before = runtime.stats.interrupted
+        try:
+            print(_run_experiment(experiment, args, runtime, table2_memo))
+        except KeyboardInterrupt:
+            failures.append((experiment, "interrupted"))
+            print(f"[{experiment}: interrupted]", file=sys.stderr)
+            break
+        except Exception as exc:  # noqa: BLE001 - keep running the rest
+            # The scheduler drains Ctrl-C into ``interrupted`` outcomes
+            # rather than re-raising; a Ctrl-C must stop the whole run,
+            # not fall through to the next experiment.
+            if runtime.stats.interrupted > interrupted_before:
+                failures.append((experiment, "interrupted"))
+                print(f"[{experiment}: interrupted]", file=sys.stderr)
+                break
+            failures.append((experiment, f"{type(exc).__name__}: {exc}"))
+            traceback.print_exc()
+            print(f"[{experiment}: FAILED]", file=sys.stderr)
+            continue
+        completed += 1
+        print(
+            f"[{experiment}: {time.time() - experiment_start:.1f}s]\n",
+            file=sys.stderr,
+        )
+
+    stats = runtime.stats
+    wall = time.time() - start
+    summary = (
+        f"run_all: {completed}/{len(selected)} experiments ok, "
+        f"{stats.executed} jobs run, {stats.cache_hits} cache hits, "
+        f"{stats.failed} job failures, {wall:.1f}s wall"
+    )
+    if failures:
+        summary += "; FAILED: " + ", ".join(
+            f"{name} ({reason})" for name, reason in failures
+        )
+    print(summary, file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

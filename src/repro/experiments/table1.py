@@ -11,11 +11,12 @@ millions-per-billion).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Sequence
 
 from repro.experiments.report import render_rows, section
 from repro.experiments.workloads import WORKLOAD_NAMES, workload
+from repro.runtime import Job, payloads
 from repro.traces.filters import L1Filter, L1FilterConfig
 
 
@@ -38,26 +39,75 @@ class Table1Row:
         return 1000.0 * self.dl1_misses / max(1, self.instructions)
 
 
-def run_table1(
-    names: "Sequence[str]" = WORKLOAD_NAMES, scale: float = 1.0
-) -> "list[Table1Row]":
-    """Measure every workload through the section 4.1 L1 filters."""
-    rows = []
-    for name in names:
-        spec = workload(name, scale=scale)
-        l1 = L1Filter(L1FilterConfig())
-        for _ in l1.filter(spec.accesses()):
-            pass
-        rows.append(
-            Table1Row(
-                name=name,
-                accesses=l1.accesses,
-                instructions=l1.instructions,
-                il1_misses=l1.il1_misses,
-                dl1_misses=l1.dl1_misses,
-            )
+def run_table1_for(
+    name: str, scale: float = 1.0, seed: "int | None" = None
+) -> Table1Row:
+    """Measure one workload through the section 4.1 L1 filters."""
+    spec = workload(name, scale=scale, seed=seed)
+    l1 = L1Filter(L1FilterConfig())
+    for _ in l1.filter(spec.accesses()):
+        pass
+    return Table1Row(
+        name=name,
+        accesses=l1.accesses,
+        instructions=l1.instructions,
+        il1_misses=l1.il1_misses,
+        dl1_misses=l1.dl1_misses,
+    )
+
+
+def table1_job(
+    name: str, scale: float = 1.0, seed: "int | None" = None
+) -> "dict[str, object]":
+    """Runtime job: one Table 1 row as a JSON-able payload."""
+    row = run_table1_for(name, scale=scale, seed=seed)
+    payload = asdict(row)
+    payload["references"] = row.accesses
+    return payload
+
+
+def table1_row_from_payload(payload: "dict[str, object]") -> Table1Row:
+    return Table1Row(
+        name=payload["name"],
+        accesses=payload["accesses"],
+        instructions=payload["instructions"],
+        il1_misses=payload["il1_misses"],
+        dl1_misses=payload["dl1_misses"],
+    )
+
+
+def table1_jobs(
+    names: "Sequence[str]" = WORKLOAD_NAMES,
+    scale: float = 1.0,
+    seed: "int | None" = None,
+) -> "list[Job]":
+    return [
+        Job.create(
+            "repro.experiments.table1:table1_job",
+            label=f"table1/{name}",
+            name=name,
+            scale=scale,
+            seed=seed,
         )
-    return rows
+        for name in names
+    ]
+
+
+def run_table1(
+    names: "Sequence[str]" = WORKLOAD_NAMES,
+    scale: float = 1.0,
+    seed: "int | None" = None,
+    runtime=None,
+) -> "list[Table1Row]":
+    """Measure every workload through the section 4.1 L1 filters.
+
+    With a :class:`~repro.runtime.ExperimentRuntime`, workloads fan out
+    as one cached job each; without one, they run serially in-process.
+    """
+    if runtime is None:
+        return [run_table1_for(name, scale=scale, seed=seed) for name in names]
+    outcomes = runtime.map(table1_jobs(names, scale=scale, seed=seed))
+    return [table1_row_from_payload(p) for p in payloads(outcomes)]
 
 
 def render_table1(rows: "Sequence[Table1Row]") -> str:

@@ -14,7 +14,7 @@ paper's columns plus the break-even ``P_mig``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Sequence
 
 from repro.caches.hierarchy import SingleCoreHierarchy
@@ -22,6 +22,7 @@ from repro.experiments.report import ratio_cell, render_rows, section
 from repro.experiments.workloads import WORKLOAD_NAMES, workload
 from repro.multicore.chip import ChipConfig, MultiCoreChip
 from repro.multicore.migration import break_even_pmig
+from repro.runtime import Job, payloads
 
 
 @dataclass(frozen=True)
@@ -34,6 +35,7 @@ class Table2Row:
     l2_misses_baseline: int
     l2_misses_migrating: int
     migrations: int
+    accesses: int = 0  #: trace references per pass (work-volume metric)
 
     def _per(self, events: int) -> float:
         return self.instructions / events if events else float("inf")
@@ -73,9 +75,11 @@ class Table2Row:
         )
 
 
-def run_table2_for(name: str, scale: float = 1.0) -> Table2Row:
+def run_table2_for(
+    name: str, scale: float = 1.0, seed: "int | None" = None
+) -> Table2Row:
     """Run baseline + migrating chip for one workload."""
-    spec = workload(name, scale=scale)
+    spec = workload(name, scale=scale, seed=seed)
     baseline = SingleCoreHierarchy()
     for access in spec.accesses():
         baseline.access(access)
@@ -88,13 +92,61 @@ def run_table2_for(name: str, scale: float = 1.0) -> Table2Row:
         l2_misses_baseline=baseline.stats.l2_misses,
         l2_misses_migrating=chip.stats.l2_misses,
         migrations=chip.stats.migrations,
+        accesses=chip.stats.accesses,
     )
 
 
+def table2_job(
+    name: str, scale: float = 1.0, seed: "int | None" = None
+) -> "dict[str, object]":
+    """Runtime job: one Table 2 row as a JSON-able payload."""
+    row = run_table2_for(name, scale=scale, seed=seed)
+    payload = asdict(row)
+    # The identical trace runs through the baseline and the chip.
+    payload["references"] = 2 * row.accesses
+    return payload
+
+
+def table2_row_from_payload(payload: "dict[str, object]") -> Table2Row:
+    return Table2Row(
+        name=payload["name"],
+        instructions=payload["instructions"],
+        l1_misses=payload["l1_misses"],
+        l2_misses_baseline=payload["l2_misses_baseline"],
+        l2_misses_migrating=payload["l2_misses_migrating"],
+        migrations=payload["migrations"],
+        accesses=payload.get("accesses", 0),
+    )
+
+
+def table2_jobs(
+    names: "Sequence[str]" = WORKLOAD_NAMES,
+    scale: float = 1.0,
+    seed: "int | None" = None,
+) -> "list[Job]":
+    return [
+        Job.create(
+            "repro.experiments.table2:table2_job",
+            label=f"table2/{name}",
+            name=name,
+            scale=scale,
+            seed=seed,
+        )
+        for name in names
+    ]
+
+
 def run_table2(
-    names: "Sequence[str]" = WORKLOAD_NAMES, scale: float = 1.0
+    names: "Sequence[str]" = WORKLOAD_NAMES,
+    scale: float = 1.0,
+    seed: "int | None" = None,
+    runtime=None,
 ) -> "list[Table2Row]":
-    return [run_table2_for(name, scale=scale) for name in names]
+    """Regenerate Table 2, serially or fanned out through a runtime."""
+    if runtime is None:
+        return [run_table2_for(name, scale=scale, seed=seed) for name in names]
+    outcomes = runtime.map(table2_jobs(names, scale=scale, seed=seed))
+    return [table2_row_from_payload(p) for p in payloads(outcomes)]
 
 
 def _per_cell(value: float) -> str:

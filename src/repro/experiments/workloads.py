@@ -27,10 +27,18 @@ WORKLOAD_NAMES = tuple(spec_model_names()) + OLDEN_BENCHMARKS
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """A named, scaled workload that can produce its trace repeatedly."""
+    """A named, scaled workload that can produce its trace repeatedly.
+
+    ``seed`` re-derives every stochastic stream in the workload's trace
+    generator; ``None`` keeps the calibrated per-workload defaults.
+    Either way the trace is a pure function of ``(name, scale, seed)``,
+    so serial and parallel runs — in any execution order — are
+    bit-identical.
+    """
 
     name: str
     scale: float = 1.0
+    seed: "int | None" = None
 
     def __post_init__(self) -> None:
         if self.name not in WORKLOAD_NAMES:
@@ -47,8 +55,8 @@ class WorkloadSpec:
     def accesses(self) -> "Iterator[Access]":
         """The workload's access trace (deterministic, replayable)."""
         if self.is_olden:
-            return _olden_trace(self.name, self.scale).accesses()
-        model = spec_model(self.name)
+            return _olden_trace(self.name, self.scale, self.seed).accesses()
+        model = spec_model(self.name, seed=self.seed)
         # Scale each model's own calibrated default length (2-6 x 10^6;
         # the splittable models carry longer defaults for convergence).
         model.length = max(10_000, int(model.length * self.scale))
@@ -56,13 +64,15 @@ class WorkloadSpec:
 
 
 @lru_cache(maxsize=8)
-def _olden_trace(name: str, scale: float):
-    return olden_benchmark(name, scale=scale)
+def _olden_trace(name: str, scale: float, seed: "int | None" = None):
+    return olden_benchmark(name, scale=scale, seed=seed)
 
 
-def workload(name: str, scale: float = 1.0) -> WorkloadSpec:
+def workload(
+    name: str, scale: float = 1.0, seed: "int | None" = None
+) -> WorkloadSpec:
     """Look up one workload by its paper name (e.g. ``"179.art"``)."""
-    return WorkloadSpec(name=name, scale=scale)
+    return WorkloadSpec(name=name, scale=scale, seed=seed)
 
 
 def workload_names() -> "list[str]":

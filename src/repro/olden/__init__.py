@@ -20,6 +20,7 @@ scaled down, every size is a constructor argument):
 * :func:`~repro.olden.mst.mst` — minimum spanning tree over hashed adjacency (1024 nodes)
 """
 
+from repro.common.rng import mix_seed
 from repro.olden.heap import HeapObject, RecordedTrace, TracedHeap
 from repro.olden.bh import bh
 from repro.olden.bisort import bisort
@@ -36,23 +37,36 @@ OLDEN_BENCHMARKS = ("bh", "bisort", "em3d", "health", "mst")
 OLDEN_EXTENSIONS = ("perimeter", "treeadd")
 
 
-def olden_benchmark(name: str, scale: float = 1.0) -> RecordedTrace:
+def olden_benchmark(
+    name: str, scale: float = 1.0, seed: "int | None" = None
+) -> RecordedTrace:
     """Run one Olden benchmark at a size factor and return its trace.
 
     ``scale`` multiplies the default problem size (1.0 = this package's
     defaults, which are themselves scaled down from the paper's inputs).
+    ``seed`` re-derives each benchmark's input-generation seed (``None``
+    keeps the calibrated defaults; ``treeadd`` and ``perimeter`` are
+    deterministic and ignore it).
     """
+
+    def derive(default: int) -> int:
+        if seed is None:
+            return default
+        return mix_seed(seed, "olden", name)
+
     if name == "bh":
-        return bh(num_bodies=max(64, int(2048 * scale)))
+        return bh(num_bodies=max(64, int(2048 * scale)), seed=derive(121))
     if name == "bisort":
         target = max(1024, int(8192 * scale))
-        return bisort(size=1 << (target - 1).bit_length())
+        return bisort(size=1 << (target - 1).bit_length(), seed=derive(1024))
     if name == "em3d":
-        return em3d(num_nodes=max(128, int(2000 * scale)))
+        return em3d(num_nodes=max(128, int(2000 * scale)), seed=derive(783))
     if name == "health":
-        return health(max_level=4, timesteps=max(20, int(160 * scale)))
+        return health(
+            max_level=4, timesteps=max(20, int(160 * scale)), seed=derive(42)
+        )
     if name == "mst":
-        return mst(num_vertices=max(64, int(512 * scale)))
+        return mst(num_vertices=max(64, int(512 * scale)), seed=derive(317))
     if name == "treeadd":
         target = max(256, int((1 << 14) * scale))
         return treeadd(levels=target.bit_length())

@@ -1,0 +1,49 @@
+"""repro.runtime — the experiment-execution engine.
+
+Every table/figure driver and ablation sweep decomposes into **jobs**:
+pure, picklable (experiment, workload, config, scale, seed) tuples with
+a deterministic content hash (:mod:`repro.runtime.job`).  The
+:class:`~repro.runtime.scheduler.ExperimentRuntime` fans jobs out over
+a ``multiprocessing`` pool (``jobs=1`` runs in-process for debugging),
+with per-job timeouts, bounded retry on worker crash, and graceful
+Ctrl-C draining.  Finished payloads land in an on-disk
+:class:`~repro.runtime.cache.ResultCache` keyed by job hash + code
+fingerprint, so re-running an experiment set skips completed jobs and
+an interrupted sweep resumes where it stopped.  Structured per-job
+events (queued / started / finished / cache-hit, duration, references,
+refs/sec) stream to stderr and an optional JSONL run log
+(:mod:`repro.runtime.events`).
+
+Command line: ``python -m repro.runtime {run,status,clear-cache}``.
+"""
+
+from repro.runtime.cache import ResultCache, code_fingerprint
+from repro.runtime.events import EventBus, JobEvent, JsonlSink, StderrSink
+from repro.runtime.job import Job, JobError, execute_job, resolve_job
+from repro.runtime.scheduler import (
+    ExperimentRuntime,
+    JobOutcome,
+    RunStats,
+    RuntimeConfig,
+    failed_outcomes,
+    payloads,
+)
+
+__all__ = [
+    "EventBus",
+    "ExperimentRuntime",
+    "Job",
+    "JobError",
+    "JobEvent",
+    "JobOutcome",
+    "JsonlSink",
+    "ResultCache",
+    "RunStats",
+    "RuntimeConfig",
+    "StderrSink",
+    "code_fingerprint",
+    "execute_job",
+    "failed_outcomes",
+    "payloads",
+    "resolve_job",
+]

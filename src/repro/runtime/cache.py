@@ -1,0 +1,198 @@
+"""On-disk result cache: ``.repro-cache/<code-version>/<job-hash>.json``.
+
+Artifacts are keyed by the job's content hash *and* a fingerprint of
+the ``repro`` package's source, so editing any simulator code
+invalidates every cached result while re-running an unchanged
+experiment set is pure cache hits.  Writes are atomic
+(temp-file + rename), which is what makes Ctrl-C during a sweep safe:
+an interrupted run leaves only complete artifacts behind and the next
+invocation resumes from them.
+
+The cache root defaults to ``$REPRO_CACHE_DIR`` or ``.repro-cache`` in
+the working directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Iterator
+
+from repro.runtime.job import Job, canonical_json
+
+#: environment variable overriding the default cache root
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash of every ``*.py`` source file in the ``repro`` package.
+
+    Cached per process — workers inherit or recompute the same value,
+    so parent and children always agree on which cache generation is
+    current.
+    """
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x01")
+    return digest.hexdigest()[:16]
+
+
+def default_cache_root() -> Path:
+    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
+
+
+@dataclass(frozen=True)
+class CacheStatus:
+    """Summary of one cache root (the ``status`` CLI's data)."""
+
+    root: Path
+    code_version: str
+    current_entries: int
+    current_bytes: int
+    stale_entries: int  #: artifacts from other code versions
+    stale_bytes: int
+    by_function: "dict[str, int]"  #: current entries per job fn
+
+
+class ResultCache:
+    """Content-addressed JSON artifact store for job payloads."""
+
+    def __init__(
+        self,
+        root: "str | os.PathLike[str] | None" = None,
+        code_version: "str | None" = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.code_version = code_version or code_fingerprint()
+
+    # -- paths ----------------------------------------------------------
+
+    @property
+    def generation_dir(self) -> Path:
+        return self.root / self.code_version
+
+    def path_for(self, job: Job) -> Path:
+        return self.generation_dir / f"{job.hash}.json"
+
+    # -- read/write -----------------------------------------------------
+
+    def get(self, job: Job) -> "dict[str, object] | None":
+        """The cached payload for ``job``, or ``None`` on a miss.
+
+        Corrupt artifacts (partial writes from a hard kill predating
+        the atomic-rename scheme, disk trouble) count as misses.
+        """
+        path = self.path_for(job)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                artifact = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        payload = artifact.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def put(
+        self,
+        job: Job,
+        payload: "dict[str, object]",
+        duration: "float | None" = None,
+    ) -> Path:
+        """Atomically persist one finished job's payload."""
+        path = self.path_for(job)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        artifact = {
+            "fn": job.fn,
+            "label": job.label,
+            "params": job.kwargs,
+            "job_hash": job.hash,
+            "code_version": self.code_version,
+            "created": time.time(),
+            "duration": duration,
+            "payload": payload,
+        }
+        body = canonical_json(artifact)
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            encoding="utf-8",
+            dir=str(path.parent),
+            prefix=".tmp-",
+            suffix=".json",
+            delete=False,
+        )
+        try:
+            with handle:
+                handle.write(body)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, job: Job) -> bool:
+        return self.path_for(job).is_file()
+
+    # -- maintenance ----------------------------------------------------
+
+    def _artifacts(self) -> "Iterator[Path]":
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            if not path.name.startswith(".tmp-"):
+                yield path
+
+    def status(self) -> CacheStatus:
+        current_entries = current_bytes = stale_entries = stale_bytes = 0
+        by_function: "dict[str, int]" = {}
+        for path in self._artifacts():
+            size = path.stat().st_size
+            if path.parent.name == self.code_version:
+                current_entries += 1
+                current_bytes += size
+                try:
+                    with path.open("r", encoding="utf-8") as handle:
+                        fn = json.load(handle).get("fn", "?")
+                except (OSError, json.JSONDecodeError):
+                    fn = "?"
+                by_function[fn] = by_function.get(fn, 0) + 1
+            else:
+                stale_entries += 1
+                stale_bytes += size
+        return CacheStatus(
+            root=self.root,
+            code_version=self.code_version,
+            current_entries=current_entries,
+            current_bytes=current_bytes,
+            stale_entries=stale_entries,
+            stale_bytes=stale_bytes,
+            by_function=by_function,
+        )
+
+    def clear(self, stale_only: bool = False) -> int:
+        """Delete artifacts; returns how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for generation in sorted(self.root.iterdir()):
+            if not generation.is_dir():
+                continue
+            if stale_only and generation.name == self.code_version:
+                continue
+            removed += sum(1 for _ in generation.glob("*.json"))
+            shutil.rmtree(generation)
+        return removed

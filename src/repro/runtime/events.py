@@ -1,0 +1,130 @@
+"""Structured per-job progress events.
+
+The scheduler emits one :class:`JobEvent` per state change — queued,
+started, cache-hit, finished, failed, retried, interrupted — carrying
+the job label/hash, attempt number, duration, references simulated and
+the derived refs/sec.  Sinks fan the stream out: human-readable lines
+on stderr, machine-readable JSONL run logs, or in-memory capture for
+tests.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import IO, Iterable
+
+#: the event kinds the scheduler emits, in lifecycle order
+EVENT_KINDS = (
+    "queued",
+    "started",
+    "cache-hit",
+    "finished",
+    "retried",
+    "failed",
+    "interrupted",
+)
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One state change of one job."""
+
+    event: str
+    label: str
+    job_hash: str
+    timestamp: float = field(default_factory=time.time)
+    attempt: int = 1
+    duration: "float | None" = None  #: seconds, on finished/failed
+    references: "int | None" = None  #: trace references simulated
+    error: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.event not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event {self.event!r}; known: {EVENT_KINDS}"
+            )
+
+    @property
+    def refs_per_sec(self) -> "float | None":
+        if not self.references or not self.duration:
+            return None
+        return self.references / self.duration
+
+
+class StderrSink:
+    """Human-readable one-line-per-event progress on a stream."""
+
+    def __init__(self, stream: "IO[str] | None" = None) -> None:
+        self._stream = stream
+
+    @property
+    def stream(self) -> "IO[str]":
+        # Resolved lazily so pytest's capsys replacement is honoured.
+        return self._stream if self._stream is not None else sys.stderr
+
+    def emit(self, event: JobEvent) -> None:
+        if event.event == "queued":
+            return  # one line per queued job is noise at fan-out scale
+        parts = [f"[runtime] {event.event:<11s} {event.label}"]
+        if event.duration is not None:
+            parts.append(f"{event.duration:.2f}s")
+        if event.references is not None:
+            parts.append(f"{event.references:,} refs")
+        rate = event.refs_per_sec
+        if rate is not None:
+            parts.append(f"{rate:,.0f} refs/s")
+        if event.attempt > 1:
+            parts.append(f"attempt {event.attempt}")
+        if event.error:
+            parts.append(f"error: {event.error}")
+        print("  ".join(parts), file=self.stream)
+        self.stream.flush()
+
+
+class JsonlSink:
+    """Append every event as one JSON object per line (the run log)."""
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def emit(self, event: JobEvent) -> None:
+        with self.path.open("a", encoding="utf-8") as handle:
+            record = asdict(event)
+            record["refs_per_sec"] = event.refs_per_sec
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+class MemorySink:
+    """Collect events in a list (tests, summaries)."""
+
+    def __init__(self) -> None:
+        self.events: "list[JobEvent]" = []
+
+    def emit(self, event: JobEvent) -> None:
+        self.events.append(event)
+
+
+class EventBus:
+    """Fan one event stream out to several sinks; never let a sink
+    failure kill the run (a full disk should not abort a simulation)."""
+
+    def __init__(self, sinks: "Iterable[object]" = ()) -> None:
+        self.sinks = list(sinks)
+
+    def add(self, sink: object) -> None:
+        self.sinks.append(sink)
+
+    def emit(self, event: JobEvent) -> None:
+        for sink in self.sinks:
+            try:
+                sink.emit(event)
+            except Exception as exc:  # noqa: BLE001 - diagnostics only
+                print(
+                    f"[runtime] event sink {type(sink).__name__} failed: {exc}",
+                    file=sys.stderr,
+                )

@@ -1,0 +1,431 @@
+"""The scheduler: fan jobs out over processes, cache, retry, resume.
+
+:class:`ExperimentRuntime` is the one entry point.  ``runtime.map(jobs)``
+returns one :class:`JobOutcome` per job, **in input order** — callers
+rebuild tables from payloads without caring which worker (or which past
+run, via the cache) produced them, so parallel output is byte-identical
+to serial output.
+
+Execution model:
+
+* ``jobs=1`` runs everything in-process (debuggable with pdb, no
+  pickling round-trip);
+* ``jobs>1`` starts one daemonised ``multiprocessing`` process per job,
+  at most ``jobs`` in flight, results returned over per-job pipes.
+  One-process-per-job (instead of a long-lived pool) is what makes
+  per-job timeouts enforceable — an overdue job is terminated without
+  poisoning other workers — and makes a crashed worker (OOM kill,
+  segfaulting native code) an isolated, retryable event.
+* Ctrl-C drains gracefully: running workers are terminated, completed
+  jobs keep their cache artifacts, and unfinished jobs are reported as
+  ``interrupted`` — re-running the same job set resumes from the cache.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.events import EventBus, JobEvent, StderrSink
+from repro.runtime.job import REFERENCES_KEY, Job, JobError, execute_job
+
+#: outcome states
+OK, CACHED, FAILED, INTERRUPTED = "ok", "cached", "failed", "interrupted"
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs for one runtime instance."""
+
+    jobs: int = 1  #: worker processes; 1 = in-process serial
+    timeout: "float | None" = None  #: per-job wall-clock limit, seconds
+    retries: int = 1  #: extra attempts after a worker *crash*
+    use_cache: bool = True
+    start_method: str = "fork" if os.name == "posix" else "spawn"
+    poll_interval: float = 0.05  #: seconds between liveness/timeout checks
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """Terminal state of one submitted job."""
+
+    job: Job
+    status: str  #: ok | cached | failed | interrupted
+    payload: "dict[str, object] | None" = None
+    duration: "float | None" = None
+    error: "str | None" = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (OK, CACHED)
+
+
+@dataclass
+class RunStats:
+    """Aggregate counters over every ``map`` call on one runtime."""
+
+    submitted: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    failed: int = 0
+    interrupted: int = 0
+    crash_retries: int = 0
+    references: int = 0
+    wall_time: float = 0.0
+
+    def absorb(self, outcome: JobOutcome) -> None:
+        if outcome.status == CACHED:
+            self.cache_hits += 1
+        elif outcome.status == OK:
+            self.executed += 1
+        elif outcome.status == FAILED:
+            self.failed += 1
+        elif outcome.status == INTERRUPTED:
+            self.interrupted += 1
+        if outcome.payload is not None:
+            refs = outcome.payload.get(REFERENCES_KEY)
+            if isinstance(refs, int):
+                self.references += refs
+
+
+def failed_outcomes(outcomes: "Sequence[JobOutcome]") -> "list[JobOutcome]":
+    return [o for o in outcomes if not o.ok]
+
+
+def payloads(outcomes: "Sequence[JobOutcome]") -> "list[dict[str, object]]":
+    """Unwrap payloads, raising :class:`JobError` if anything failed."""
+    bad = failed_outcomes(outcomes)
+    if bad:
+        summary = "; ".join(
+            f"{o.job.name}: {o.status}"
+            + (f" ({o.error})" if o.error else "")
+            for o in bad[:5]
+        )
+        raise JobError(f"{len(bad)} job(s) did not complete: {summary}")
+    return [o.payload for o in outcomes]  # type: ignore[misc]
+
+
+def _worker_main(job: Job, conn) -> None:
+    """Worker-process entry: run the job, ship the result, exit."""
+    try:
+        payload, duration = execute_job(job)
+        conn.send(("ok", payload, duration))
+    except BaseException as exc:  # noqa: BLE001 - must cross the pipe
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Running:
+    index: int
+    attempt: int
+    process: multiprocessing.Process
+    conn: "multiprocessing.connection.Connection"
+    started: float = field(default_factory=time.monotonic)
+
+
+class ExperimentRuntime:
+    """Schedule jobs over the cache and (optionally) worker processes."""
+
+    def __init__(
+        self,
+        config: "RuntimeConfig | None" = None,
+        cache: "ResultCache | None" = None,
+        bus: "EventBus | None" = None,
+    ) -> None:
+        self.config = config or RuntimeConfig()
+        self.cache = cache if cache is not None else ResultCache()
+        self.bus = bus if bus is not None else EventBus([StderrSink()])
+        self.stats = RunStats()
+
+    # -- public API -----------------------------------------------------
+
+    def map(self, jobs: "Sequence[Job]") -> "list[JobOutcome]":
+        """Run every job; outcomes align with the input order."""
+        jobs = list(jobs)
+        self.stats.submitted += len(jobs)
+        start = time.monotonic()
+        for job in jobs:
+            self._emit("queued", job)
+        try:
+            # jobs=1 is strictly in-process (debuggable, no pickling);
+            # jobs>1 always isolates in workers — even a single job —
+            # so crash containment and timeouts hold uniformly.
+            if self.config.jobs <= 1:
+                outcomes = self._run_serial(jobs)
+            else:
+                outcomes = self._run_parallel(jobs)
+        finally:
+            self.stats.wall_time += time.monotonic() - start
+        for outcome in outcomes:
+            self.stats.absorb(outcome)
+        return outcomes
+
+    def run_one(self, job: Job) -> JobOutcome:
+        return self.map([job])[0]
+
+    # -- shared helpers -------------------------------------------------
+
+    def _emit(self, kind: str, job: Job, **extra: object) -> None:
+        self.bus.emit(
+            JobEvent(event=kind, label=job.name, job_hash=job.hash, **extra)
+        )
+
+    def _cached_outcome(self, job: Job) -> "JobOutcome | None":
+        if not self.config.use_cache:
+            return None
+        payload = self.cache.get(job)
+        if payload is None:
+            return None
+        self._emit(
+            "cache-hit", job, references=_references_of(payload)
+        )
+        return JobOutcome(job=job, status=CACHED, payload=payload)
+
+    def _finish(
+        self, job: Job, payload: "dict[str, object]", duration: float, attempt: int
+    ) -> JobOutcome:
+        if self.config.use_cache:
+            self.cache.put(job, payload, duration=duration)
+        self._emit(
+            "finished",
+            job,
+            duration=duration,
+            references=_references_of(payload),
+            attempt=attempt,
+        )
+        return JobOutcome(
+            job=job,
+            status=OK,
+            payload=payload,
+            duration=duration,
+            attempts=attempt,
+        )
+
+    def _fail(
+        self, job: Job, error: str, attempt: int, duration: "float | None" = None
+    ) -> JobOutcome:
+        self._emit(
+            "failed", job, error=error, attempt=attempt, duration=duration
+        )
+        return JobOutcome(
+            job=job,
+            status=FAILED,
+            error=error,
+            attempts=attempt,
+            duration=duration,
+        )
+
+    # -- serial mode ----------------------------------------------------
+
+    def _run_serial(self, jobs: "Sequence[Job]") -> "list[JobOutcome]":
+        outcomes: "list[JobOutcome]" = []
+        interrupted_at: "int | None" = None
+        for i, job in enumerate(jobs):
+            cached = self._cached_outcome(job)
+            if cached is not None:
+                outcomes.append(cached)
+                continue
+            self._emit("started", job)
+            try:
+                payload, duration = execute_job(job)
+            except KeyboardInterrupt:
+                interrupted_at = i
+                break
+            except Exception as exc:  # noqa: BLE001 - job isolation
+                outcomes.append(
+                    self._fail(job, f"{type(exc).__name__}: {exc}", attempt=1)
+                )
+                continue
+            outcomes.append(self._finish(job, payload, duration, attempt=1))
+        if interrupted_at is not None:
+            for job in jobs[interrupted_at:]:
+                self._emit("interrupted", job)
+                outcomes.append(JobOutcome(job=job, status=INTERRUPTED))
+        return outcomes
+
+    # -- parallel mode --------------------------------------------------
+
+    def _run_parallel(self, jobs: "Sequence[Job]") -> "list[JobOutcome]":
+        context = multiprocessing.get_context(self.config.start_method)
+        outcomes: "list[JobOutcome | None]" = [None] * len(jobs)
+        pending: "deque[tuple[int, int]]" = deque()  # (index, attempt)
+        for i, job in enumerate(jobs):
+            cached = self._cached_outcome(job)
+            if cached is not None:
+                outcomes[i] = cached
+            else:
+                pending.append((i, 1))
+        running: "list[_Running]" = []
+        try:
+            while pending or running:
+                while pending and len(running) < self.config.jobs:
+                    index, attempt = pending.popleft()
+                    running.append(
+                        self._launch(context, jobs[index], index, attempt)
+                    )
+                self._collect(jobs, outcomes, pending, running)
+        except KeyboardInterrupt:
+            self._terminate_all(running)
+            for slot in running:
+                self._emit("interrupted", jobs[slot.index])
+                outcomes[slot.index] = JobOutcome(
+                    job=jobs[slot.index],
+                    status=INTERRUPTED,
+                    attempts=slot.attempt,
+                )
+            for index, attempt in pending:
+                self._emit("interrupted", jobs[index])
+                outcomes[index] = JobOutcome(
+                    job=jobs[index], status=INTERRUPTED, attempts=attempt
+                )
+        return [
+            outcome
+            if outcome is not None
+            else JobOutcome(job=job, status=INTERRUPTED)
+            for job, outcome in zip(jobs, outcomes)
+        ]
+
+    def _launch(self, context, job: Job, index: int, attempt: int) -> _Running:
+        receiver, sender = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_worker_main, args=(job, sender), daemon=True
+        )
+        process.start()
+        sender.close()  # parent keeps only the read end
+        self._emit("started", job, attempt=attempt)
+        return _Running(
+            index=index, attempt=attempt, process=process, conn=receiver
+        )
+
+    def _collect(
+        self,
+        jobs: "Sequence[Job]",
+        outcomes: "list[JobOutcome | None]",
+        pending: "deque[tuple[int, int]]",
+        running: "list[_Running]",
+    ) -> None:
+        """One poll round: reap results, crashes, and timeouts."""
+        ready = multiprocessing.connection.wait(
+            [slot.conn for slot in running], timeout=self.config.poll_interval
+        )
+        ready_set = set(ready)
+        now = time.monotonic()
+        still_running: "list[_Running]" = []
+        for slot in running:
+            job = jobs[slot.index]
+            if slot.conn in ready_set:
+                outcome = self._reap(job, slot, pending)
+                if outcome is not None:
+                    outcomes[slot.index] = outcome
+            elif (
+                self.config.timeout is not None
+                and now - slot.started > self.config.timeout
+            ):
+                self._kill(slot)
+                outcomes[slot.index] = self._fail(
+                    job,
+                    f"timeout after {self.config.timeout:.1f}s",
+                    attempt=slot.attempt,
+                    duration=now - slot.started,
+                )
+            else:
+                still_running.append(slot)
+        running[:] = still_running
+
+    def _reap(
+        self,
+        job: Job,
+        slot: _Running,
+        pending: "deque[tuple[int, int]]",
+    ) -> "JobOutcome | None":
+        """A worker's pipe is readable: result, error, or crash (EOF).
+
+        Returns ``None`` when the job was requeued (crash retry).
+        """
+        try:
+            message = slot.conn.recv()
+        except (EOFError, OSError):
+            message = None
+        self._kill(slot)  # reap the process either way
+        if message is None:
+            exit_code = slot.process.exitcode
+            if slot.attempt <= self.config.retries:
+                self.stats.crash_retries += 1
+                self._emit(
+                    "retried",
+                    job,
+                    attempt=slot.attempt,
+                    error=f"worker died (exit code {exit_code})",
+                )
+                pending.append((slot.index, slot.attempt + 1))
+                return None
+            return self._fail(
+                job,
+                f"worker died (exit code {exit_code}), retries exhausted",
+                attempt=slot.attempt,
+            )
+        if message[0] == "ok":
+            _, payload, duration = message
+            return self._finish(job, payload, duration, attempt=slot.attempt)
+        return self._fail(job, message[1], attempt=slot.attempt)
+
+    @staticmethod
+    def _kill(slot: _Running) -> None:
+        slot.conn.close()
+        if slot.process.is_alive():
+            slot.process.terminate()
+        slot.process.join(timeout=5.0)
+
+    def _terminate_all(self, running: "Sequence[_Running]") -> None:
+        for slot in running:
+            self._kill(slot)
+
+
+def _references_of(payload: "dict[str, object]") -> "int | None":
+    refs = payload.get(REFERENCES_KEY)
+    return refs if isinstance(refs, int) else None
+
+
+def runtime_from_args(
+    jobs: int = 1,
+    timeout: "float | None" = None,
+    retries: int = 1,
+    cache_dir: "str | None" = None,
+    no_cache: bool = False,
+    runlog: "str | None" = None,
+    quiet: bool = False,
+) -> ExperimentRuntime:
+    """Build a runtime from CLI-ish options (shared by both CLIs)."""
+    from repro.runtime.events import JsonlSink
+
+    config = RuntimeConfig(jobs=jobs, timeout=timeout, retries=retries)
+    if no_cache:
+        config = replace(config, use_cache=False)
+    sinks: "list[object]" = [] if quiet else [StderrSink()]
+    if runlog:
+        sinks.append(JsonlSink(runlog))
+    return ExperimentRuntime(
+        config=config,
+        cache=ResultCache(root=cache_dir) if cache_dir else ResultCache(),
+        bus=EventBus(sinks),
+    )

@@ -26,13 +26,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, Sequence, Tuple
 
-from repro.common.rng import make_rng
+from repro.common.rng import make_rng, mix_seed
 from repro.traces.synthetic import (
     Circular,
     PermutationCycle,
     PhaseAlternating,
     Stride,
     UniformRandom,
+    reseed,
 )
 from repro.traces.trace import Access, AccessKind
 
@@ -86,10 +87,27 @@ class SpecModel:
     padded) so that, e.g., a benchmark's code and data never alias.
     """
 
-    def __init__(self, config: SpecModelConfig, length: "int | None" = None) -> None:
+    def __init__(
+        self,
+        config: SpecModelConfig,
+        length: "int | None" = None,
+        seed: "int | None" = None,
+    ) -> None:
         self.config = config
         self.name = config.name
         self.length = length if length is not None else config.default_length
+        self.seed = seed
+        if seed is None:
+            self._mixture_seed = config.seed
+        else:
+            # An explicit seed re-derives every stochastic stream — the
+            # mixture draws and each component behaviour — from
+            # (seed, name, position), so two runs with the same seed are
+            # bit-identical regardless of workload execution order, and
+            # different seeds give independent traces.
+            self._mixture_seed = mix_seed(seed, config.name, "mixture")
+            for i, component in enumerate(config.components):
+                reseed(component.behavior, mix_seed(seed, config.name, i))
         total = sum(c.weight for c in config.components)
         self._probabilities = [c.weight / total for c in config.components]
         self._bases: "list[int]" = []
@@ -107,7 +125,7 @@ class SpecModel:
     def accesses(self) -> Iterator[Access]:
         """Yield the trace (deterministic per model seed)."""
         cfg = self.config
-        rng = make_rng(cfg.seed)
+        rng = make_rng(self._mixture_seed)
         components = cfg.components
         iterators = [c.behavior.addresses(self.length) for c in components]
         # Pre-draw in chunks for speed.
@@ -367,15 +385,18 @@ def spec_model_names() -> "list[str]":
     return list(_BUILDERS)
 
 
-def spec_model(name: str, length: "int | None" = None) -> SpecModel:
+def spec_model(
+    name: str, length: "int | None" = None, seed: "int | None" = None
+) -> SpecModel:
     """Build the model for one benchmark (e.g. ``"179.art"``).
 
     ``length`` overrides the default trace length (accesses, not
-    instructions).
+    instructions); ``seed`` re-derives every stochastic stream in the
+    model (``None`` keeps the calibrated per-model defaults).
     """
     try:
         builder = _BUILDERS[name]
     except KeyError:
         known = ", ".join(_BUILDERS)
         raise KeyError(f"unknown SPEC model {name!r}; known: {known}") from None
-    return SpecModel(builder(), length=length)
+    return SpecModel(builder(), length=length, seed=seed)

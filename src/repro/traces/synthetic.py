@@ -25,7 +25,7 @@ from __future__ import annotations
 import itertools
 from typing import Iterator, Sequence
 
-from repro.common.rng import make_rng
+from repro.common.rng import make_rng, mix_seed
 from repro.traces.trace import Access, AccessKind
 
 
@@ -65,6 +65,9 @@ class HalfRandom:
         self.seed = seed
         self.name = f"halfrandom-{num_lines}-m{burst}"
 
+    def reseed(self, seed: "int | None") -> None:
+        self.seed = seed
+
     def addresses(self, count: int) -> Iterator[int]:
         rng = make_rng(self.seed)
         half = self.num_lines // 2
@@ -89,6 +92,9 @@ class UniformRandom:
         self.num_lines = num_lines
         self.seed = seed
         self.name = f"random-{num_lines}"
+
+    def reseed(self, seed: "int | None") -> None:
+        self.seed = seed
 
     def addresses(self, count: int) -> Iterator[int]:
         rng = make_rng(self.seed)
@@ -145,6 +151,10 @@ class PermutationCycle:
         self.name = f"permcycle-{num_lines}"
         self._order = make_rng(seed).permutation(num_lines)
 
+    def reseed(self, seed: "int | None") -> None:
+        self.seed = seed
+        self._order = make_rng(seed).permutation(self.num_lines)
+
     def addresses(self, count: int) -> Iterator[int]:
         order = self._order
         n = self.num_lines
@@ -199,6 +209,10 @@ class PhaseAlternating:
         self.num_lines = offset if disjoint else max(b.num_lines for b, _ in phases)
         self.name = name
 
+    def reseed(self, seed: "int | None") -> None:
+        for i, (behavior, _, _) in enumerate(self._phases):
+            reseed(behavior, None if seed is None else mix_seed(seed, i))
+
     def addresses(self, count: int) -> Iterator[int]:
         iterators = [
             (behavior.addresses(count), length, offset)
@@ -251,12 +265,66 @@ class InterleavedStreams:
         self.seed = seed
         self.name = name
 
+    def reseed(self, seed: "int | None") -> None:
+        self.seed = seed
+        for i, behavior in enumerate(self._behaviors):
+            reseed(behavior, None if seed is None else mix_seed(seed, "child", i))
+
     def addresses(self, count: int) -> Iterator[int]:
         rng = make_rng(self.seed)
         iterators = [b.addresses(count) for b in self._behaviors]
         choices = rng.choice(len(iterators), size=count, p=self._probabilities)
         for which in choices:
             yield next(iterators[which]) + self._offsets[which]
+
+
+def reseed(behavior: object, seed: "int | None") -> object:
+    """Re-derive a behaviour's stochastic state from ``seed``.
+
+    Deterministic behaviours (``Circular``, ``Stride``, explicit
+    sequences) have no ``reseed`` method and pass through unchanged;
+    composite behaviours recurse into their children with independent
+    derived seeds.  ``seed=None`` restores OS-entropy seeding on the
+    stochastic behaviours.  Returns ``behavior`` for chaining.
+    """
+    method = getattr(behavior, "reseed", None)
+    if method is not None:
+        method(seed)
+    return behavior
+
+
+#: spec ``type`` → behaviour class, for declarative (JSON-able) specs
+BEHAVIOR_TYPES = {
+    "circular": Circular,
+    "halfrandom": HalfRandom,
+    "uniform": UniformRandom,
+    "stride": Stride,
+    "permutation": PermutationCycle,
+}
+
+
+def behavior_from_spec(spec: "dict[str, object]") -> object:
+    """Build a behaviour from a declarative spec, e.g.
+    ``{"type": "circular", "num_lines": 800}``.
+
+    Specs are plain JSON-able dicts, which is what lets the runtime
+    ship sweep points to worker processes and content-hash them for the
+    result cache (callables cannot be hashed or safely pickled across
+    code versions).  Remaining keys are constructor kwargs.
+    """
+    spec = dict(spec)
+    try:
+        kind = spec.pop("type")
+    except KeyError:
+        raise ValueError(f"behavior spec needs a 'type' key: {spec!r}") from None
+    try:
+        factory = BEHAVIOR_TYPES[kind]
+    except KeyError:
+        known = ", ".join(sorted(BEHAVIOR_TYPES))
+        raise ValueError(
+            f"unknown behavior type {kind!r}; known: {known}"
+        ) from None
+    return factory(**spec)
 
 
 def behavior_trace(

@@ -8,7 +8,12 @@ from repro.experiments.run_all import main
 class TestCli:
     def test_speedups_experiment(self, capsys):
         assert main(
-            ["--only", "speedups", "--workloads", "bisort", "--scale", "0.05"]
+            [
+                "--only", "speedups",
+                "--workloads", "bisort",
+                "--scale", "0.05",
+                "--no-cache", "--quiet",
+            ]
         ) == 0
         out = capsys.readouterr().out
         assert "Projected speedup" in out
@@ -21,16 +26,33 @@ class TestCli:
                 "--only", "speedups",
                 "--workloads", "bisort",
                 "--scale", "0.05",
+                "--no-cache", "--quiet",
             ]
         ) == 0
         out = capsys.readouterr().out
         assert "Table 1" in out
         assert "Projected speedup" in out
 
+    def test_summary_line_on_success(self, capsys):
+        assert main(
+            [
+                "--only", "table1",
+                "--workloads", "bisort",
+                "--scale", "0.05",
+                "--no-cache", "--quiet",
+            ]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "run_all: 1/1 experiments ok" in err
+        assert "cache hits" in err
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["--only", "nonsense"])
 
-    def test_unknown_workload_raises(self):
-        with pytest.raises(KeyError):
-            main(["--only", "table1", "--workloads", "nope"])
+    def test_unknown_workload_fails_with_nonzero_exit(self, capsys):
+        assert main(
+            ["--only", "table1", "--workloads", "nope", "--no-cache", "--quiet"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "FAILED" in err

@@ -1,0 +1,48 @@
+"""Module-level job functions for scheduler tests.
+
+Jobs resolve their functions by import path, so anything the scheduler
+tests execute must live at module scope (lambdas and closures cannot
+cross a process boundary).
+"""
+
+import os
+import time
+from pathlib import Path
+
+
+def echo_job(value):
+    return {"value": value, "references": 1}
+
+
+def pid_job():
+    return {"pid": os.getpid()}
+
+
+def slow_job(seconds):
+    time.sleep(seconds)
+    return {"slept": seconds}
+
+
+def failing_job(message):
+    raise ValueError(message)
+
+
+def crash_once_job(marker_path):
+    """Die hard (no exception, no pipe message) on the first attempt."""
+    marker = Path(marker_path)
+    if not marker.exists():
+        marker.write_text("crashed")
+        os._exit(17)
+    return {"attempt": "second", "references": 1}
+
+
+def always_crash_job():
+    os._exit(23)
+
+
+def interrupt_job():
+    raise KeyboardInterrupt
+
+
+def bad_return_job():
+    return ["not", "a", "dict"]

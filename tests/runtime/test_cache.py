@@ -1,0 +1,89 @@
+"""Result-cache behaviour: hit/miss, invalidation, maintenance."""
+
+import json
+
+from repro.runtime import Job, ResultCache, code_fingerprint
+from repro.runtime.cache import CACHE_DIR_ENV, default_cache_root
+
+ECHO = "tests.runtime.helper_jobs:echo_job"
+
+
+def job(**params):
+    return Job.create(ECHO, **params)
+
+
+class TestHitMiss:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        assert cache.get(job(value=1)) is None
+        cache.put(job(value=1), {"value": 1}, duration=0.25)
+        assert cache.get(job(value=1)) == {"value": 1}
+        assert job(value=1) in cache
+
+    def test_param_change_misses(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put(job(value=1, scale=0.5), {"value": 1})
+        assert cache.get(job(value=1, scale=0.25)) is None
+        assert cache.get(job(value=2, scale=0.5)) is None
+
+    def test_code_version_change_invalidates(self, tmp_path):
+        old = ResultCache(root=tmp_path, code_version="aaaa")
+        old.put(job(value=1), {"value": 1})
+        new = ResultCache(root=tmp_path, code_version="bbbb")
+        assert new.get(job(value=1)) is None  # stale generation ignored
+        assert old.get(job(value=1)) == {"value": 1}
+
+    def test_corrupt_artifact_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        path = cache.put(job(value=1), {"value": 1})
+        path.write_text("{ truncated", encoding="utf-8")
+        assert cache.get(job(value=1)) is None
+
+
+class TestLayout:
+    def test_artifacts_are_json_keyed_by_hash(self, tmp_path):
+        cache = ResultCache(root=tmp_path, code_version="cafe")
+        target = job(value=3)
+        path = cache.put(target, {"value": 3})
+        assert path == tmp_path / "cafe" / f"{target.hash}.json"
+        artifact = json.loads(path.read_text(encoding="utf-8"))
+        assert artifact["fn"] == ECHO
+        assert artifact["params"] == {"value": 3}
+        assert artifact["code_version"] == "cafe"
+        assert artifact["payload"] == {"value": 3}
+
+    def test_env_var_sets_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "shared"))
+        assert default_cache_root() == tmp_path / "shared"
+        assert ResultCache().root == tmp_path / "shared"
+
+    def test_code_fingerprint_is_stable_here(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 16
+
+
+class TestMaintenance:
+    def test_status_counts_current_and_stale(self, tmp_path):
+        old = ResultCache(root=tmp_path, code_version="aaaa")
+        old.put(job(value=1), {"value": 1})
+        new = ResultCache(root=tmp_path, code_version="bbbb")
+        new.put(job(value=1), {"value": 1})
+        new.put(job(value=2), {"value": 2})
+        status = new.status()
+        assert status.current_entries == 2
+        assert status.stale_entries == 1
+        assert status.by_function == {ECHO: 2}
+        assert status.current_bytes > 0
+
+    def test_clear_stale_only(self, tmp_path):
+        old = ResultCache(root=tmp_path, code_version="aaaa")
+        old.put(job(value=1), {"value": 1})
+        new = ResultCache(root=tmp_path, code_version="bbbb")
+        new.put(job(value=1), {"value": 1})
+        assert new.clear(stale_only=True) == 1
+        assert new.get(job(value=1)) == {"value": 1}
+        assert new.clear() == 1
+        assert new.get(job(value=1)) is None
+
+    def test_clear_missing_root_is_noop(self, tmp_path):
+        assert ResultCache(root=tmp_path / "nope").clear() == 0

@@ -1,0 +1,52 @@
+"""The ``python -m repro.runtime`` command line."""
+
+from repro.runtime import Job, ResultCache
+from repro.runtime.cli import main
+
+ECHO = "tests.runtime.helper_jobs:echo_job"
+
+
+class TestStatusAndClear:
+    def test_status_reports_entries(self, tmp_path, capsys):
+        cache = ResultCache(root=tmp_path)
+        cache.put(Job.create(ECHO, value=1), {"value": 1})
+        assert main(["status", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        assert "1 artifacts" in out
+        assert ECHO in out
+
+    def test_clear_cache_removes_artifacts(self, tmp_path, capsys):
+        cache = ResultCache(root=tmp_path)
+        cache.put(Job.create(ECHO, value=1), {"value": 1})
+        assert main(["clear-cache", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1 artifacts" in capsys.readouterr().out
+        assert cache.get(Job.create(ECHO, value=1)) is None
+
+    def test_clear_cache_stale_only_keeps_current(self, tmp_path, capsys):
+        current = ResultCache(root=tmp_path)
+        current.put(Job.create(ECHO, value=1), {"value": 1})
+        stale = ResultCache(root=tmp_path, code_version="deadbeef")
+        stale.put(Job.create(ECHO, value=1), {"value": 1})
+        assert (
+            main(["clear-cache", "--stale-only", "--cache-dir", str(tmp_path)])
+            == 0
+        )
+        assert current.get(Job.create(ECHO, value=1)) == {"value": 1}
+        assert stale.get(Job.create(ECHO, value=1)) is None
+
+
+class TestRunForwarding:
+    def test_run_forwards_to_run_all(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "--only", "speedups",
+                "--workloads", "bisort",
+                "--scale", "0.05",
+                "--cache-dir", str(tmp_path),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "Projected speedup" in capsys.readouterr().out

@@ -1,0 +1,77 @@
+"""Job identity: content hashes must be canonical and process-stable."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.runtime import Job, JobError, execute_job, resolve_job
+
+ECHO = "tests.runtime.helper_jobs:echo_job"
+
+
+class TestJobHash:
+    def test_kwarg_order_is_canonical(self):
+        a = Job.create(ECHO, value=1)
+        b = Job(fn=ECHO, params=(("value", 1),))
+        assert a.hash == b.hash
+
+        multi_a = Job.create(ECHO, x=1, y=2)
+        multi_b = Job(fn=ECHO, params=(("y", 2), ("x", 1)))
+        # Job.create sorts; a hand-built unsorted tuple hashes the same
+        # because hashing goes through canonical JSON.
+        assert multi_a.hash == multi_b.hash
+
+    def test_label_does_not_affect_hash_or_equality(self):
+        a = Job.create(ECHO, label="pretty name", value=1)
+        b = Job.create(ECHO, label="other name", value=1)
+        assert a.hash == b.hash
+        assert a == b
+
+    def test_params_and_fn_do_affect_hash(self):
+        base = Job.create(ECHO, value=1)
+        assert base.hash != Job.create(ECHO, value=2).hash
+        assert base.hash != Job.create("tests.runtime.helper_jobs:pid_job").hash
+        assert (
+            Job.create(ECHO, value=1, seed=None).hash
+            != Job.create(ECHO, value=1, seed=0).hash
+        )
+
+    def test_hash_is_stable_across_processes(self):
+        """A fresh interpreter computes the identical hash — the
+        property the resume-from-cache workflow rests on."""
+        job = Job.create(ECHO, name="179.art", scale=0.5, seed=7)
+        script = (
+            "from repro.runtime import Job; "
+            f"print(Job.create({ECHO!r}, name='179.art', scale=0.5, seed=7).hash)"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert result.stdout.strip() == job.hash
+
+    def test_fn_must_name_module_and_function(self):
+        with pytest.raises(ValueError):
+            Job.create("not_a_path")
+
+
+class TestExecution:
+    def test_execute_runs_and_times(self):
+        payload, duration = execute_job(Job.create(ECHO, value=41))
+        assert payload == {"value": 41, "references": 1}
+        assert duration >= 0
+
+    def test_resolve_unknown_module(self):
+        with pytest.raises(JobError):
+            resolve_job(Job.create("no.such.module:fn"))
+
+    def test_resolve_unknown_attribute(self):
+        with pytest.raises(JobError):
+            resolve_job(Job.create("tests.runtime.helper_jobs:missing"))
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(JobError):
+            execute_job(Job.create("tests.runtime.helper_jobs:bad_return_job"))
