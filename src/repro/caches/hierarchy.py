@@ -88,10 +88,16 @@ class SingleCoreHierarchy:
         self,
         config: "CoreCacheConfig | None" = None,
         prefetcher_factory=None,
+        probe=None,
     ) -> None:
         """``prefetcher_factory``, if given, is called with the L2 cache
         and must return an object with ``demand_access(line, hit)`` —
-        see :mod:`repro.caches.prefetch`."""
+        see :mod:`repro.caches.prefetch`.
+
+        ``probe``, if given, is a :class:`~repro.obs.probe.SimProbe`
+        sampling this hierarchy's miss rates and reporting L2
+        evictions; ``None`` (the default) keeps the hot path to one
+        attribute check."""
         self.config = config or CoreCacheConfig()
         self.il1 = self.config.make_l1(self.config.il1_bytes)
         self.dl1 = self.config.make_l1(self.config.dl1_bytes)
@@ -100,6 +106,9 @@ class SingleCoreHierarchy:
             prefetcher_factory(self.l2) if prefetcher_factory else None
         )
         self.stats = HierarchyStats()
+        self.probe = probe
+        if probe is not None:
+            probe.bind_hierarchy(self)
 
     def access(self, access: Access) -> AccessOutcome:
         """Run one memory reference through the hierarchy."""
@@ -107,6 +116,9 @@ class SingleCoreHierarchy:
         stats.accesses += 1
         if access.instruction >= stats.instructions:
             stats.instructions = access.instruction + 1
+        probe = self.probe
+        if probe is not None:
+            probe.on_access(stats.accesses)
         line = access.address // self.config.line_size
         if access.kind is AccessKind.FETCH:
             return self._fetch(line)
@@ -143,6 +155,7 @@ class SingleCoreHierarchy:
         hit = self.l2.access(line)
         if not hit:
             self.stats.l2_misses += 1
+            self._observe_eviction()
         if self.prefetcher is not None:
             self.prefetcher.demand_access(line, hit)
         return not hit
@@ -152,6 +165,15 @@ class SingleCoreHierarchy:
         hit = self.l2.access(line, write=True)
         if not hit:
             self.stats.l2_misses += 1
+            self._observe_eviction()
         if self.prefetcher is not None:
             self.prefetcher.demand_access(line, hit)
         return not hit
+
+    def _observe_eviction(self) -> None:
+        """Report an L2 eviction (if any) after a miss-allocate."""
+        probe = self.probe
+        if probe is not None:
+            eviction = self.l2.last_eviction
+            if eviction is not None:
+                probe.on_l2_eviction(0, eviction.line, eviction.dirty)

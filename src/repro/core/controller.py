@@ -111,31 +111,45 @@ class MigrationController:
             self.store = AffinityCache(
                 cfg.affinity_cache_entries, cfg.affinity_cache_ways
             )
-        self.mechanism_x = self._make_mechanism(cfg.x_window_size)
-        self.filter_x = TransitionFilter(cfg.filter_bits)
+        self.mechanism_x = self._make_mechanism(cfg.x_window_size, "R_X")
+        self.filter_x = TransitionFilter(cfg.filter_bits, name="F_X")
         if cfg.num_subsets == 4:
             self.mechanism_y = {
-                +1: self._make_mechanism(cfg.y_window_size),
-                -1: self._make_mechanism(cfg.y_window_size),
+                +1: self._make_mechanism(cfg.y_window_size, "R_Y[+1]"),
+                -1: self._make_mechanism(cfg.y_window_size, "R_Y[-1]"),
             }
             self.filter_y = {
-                +1: TransitionFilter(cfg.filter_bits),
-                -1: TransitionFilter(cfg.filter_bits),
+                +1: TransitionFilter(cfg.filter_bits, name="F_Y[+1]"),
+                -1: TransitionFilter(cfg.filter_bits, name="F_Y[-1]"),
             }
         else:
             self.mechanism_y = {}
             self.filter_y = {}
         self.stats = ControllerStats()
+        #: nil-by-default telemetry hook (:mod:`repro.obs.probe`); set
+        #: through :meth:`attach_probe` so the filters and mechanisms
+        #: report through the same probe.
+        self.probe = None
         self._previous_subset = self.current_subset()
 
-    def _make_mechanism(self, window_size: int) -> SplitMechanism:
+    def _make_mechanism(self, window_size: int, name: str) -> SplitMechanism:
         return SplitMechanism(
             window_size,
             self.store,
             affinity_bits=self.config.affinity_bits,
             lru_window=self.config.lru_window,
             track_true_window_affinity=self.config.exact_window_affinity,
+            name=name,
         )
+
+    def attach_probe(self, probe) -> None:
+        """Wire ``probe`` into this controller and every component it
+        owns (transition filters, split mechanisms)."""
+        self.probe = probe
+        for transition_filter in [self.filter_x, *self.filter_y.values()]:
+            transition_filter.probe = probe
+        for mechanism in self.mechanisms():
+            mechanism.probe = probe
 
     @property
     def num_subsets(self) -> int:
@@ -182,6 +196,9 @@ class MigrationController:
         subset_after = self.current_subset()
         if subset_after != subset_before:
             stats.transitions += 1
+            probe = self.probe
+            if probe is not None:
+                probe.on_transition(stats.references, subset_before, subset_after)
         self._previous_subset = subset_after
         return subset_before
 

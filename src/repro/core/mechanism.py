@@ -73,6 +73,7 @@ class SplitMechanism:
         affinity_bits: int = 16,
         lru_window: bool = False,
         track_true_window_affinity: bool = True,
+        name: str = "R",
     ) -> None:
         if window_size <= 0:
             raise ValueError(f"window_size must be positive, got {window_size}")
@@ -81,6 +82,11 @@ class SplitMechanism:
         self.affinity_bits = affinity_bits
         self.lru_window = lru_window
         self.track_true_window_affinity = track_true_window_affinity
+        self.name = name
+        #: nil-by-default telemetry hook (:mod:`repro.obs.probe`);
+        #: reports a ``window.rollover`` event each full ``|R|`` turns.
+        self.probe = None
+        self._rollover_mark = 0
         ar_bits = affinity_bits + max(1, math.ceil(math.log2(window_size)))
         if track_true_window_affinity:
             # The exact Σ A_e needs headroom for the |R|*sign drift.
@@ -146,6 +152,10 @@ class SplitMechanism:
         else:
             self.window_affinity.add(o_e - o_f)
         self._advance(window_population=population)
+        probe = self.probe
+        if probe is not None and self.references - self._rollover_mark >= self.window_size:
+            self._rollover_mark = self.references
+            probe.on_window_rollover(self.name, self.window_size, self.references)
         return a_e
 
     def _advance(self, window_population: int) -> None:

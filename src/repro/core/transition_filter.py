@@ -21,10 +21,19 @@ from repro.common.saturating import SaturatingCounter
 
 
 class TransitionFilter:
-    """Saturating up/down counter with sign-based subset decision."""
+    """Saturating up/down counter with sign-based subset decision.
 
-    def __init__(self, bits: int = 20) -> None:
+    ``name`` labels this filter in telemetry (``"F_X"``, ``"F_Y[+1]"``,
+    …); ``probe`` is the nil-by-default observability hook — when set
+    (see :mod:`repro.obs.probe`), each sign change is reported as a
+    ``filter.flip`` event.  The hook sits inside the sign-change branch,
+    so the common non-flipping path costs nothing extra.
+    """
+
+    def __init__(self, bits: int = 20, name: str = "F") -> None:
         self._counter = SaturatingCounter(bits)
+        self.name = name
+        self.probe = None
         self.updates = 0
         self.sign_changes = 0
         self._last_sign = self._counter.sign_value
@@ -59,6 +68,9 @@ class TransitionFilter:
         if new_sign != self._last_sign:
             self.sign_changes += 1
             self._last_sign = new_sign
+            probe = self.probe
+            if probe is not None:
+                probe.on_filter_flip(self.name, new_sign, self._counter.value)
         return self.subset
 
     def reset(self, value: int = 0) -> None:

@@ -37,3 +37,17 @@ def render_rows(columns: "Sequence[str]", rows: "Sequence[Sequence[object]]") ->
     for row in rows:
         table.add_row(row)
     return table.render()
+
+
+def counters_section(title: str, counters: "dict[str, object]") -> str:
+    """Render a flat counter dict (e.g. ``ChipStats.to_dict()``) as a
+    titled two-column table — the one place stats dicts get formatted,
+    instead of each caller reaching into attributes ad hoc."""
+    body = render_rows(
+        ["counter", "value"],
+        [
+            [name, f"{value:,}" if isinstance(value, int) else value]
+            for name, value in counters.items()
+        ],
+    )
+    return section(title) + "\n" + body

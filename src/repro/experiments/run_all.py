@@ -60,13 +60,41 @@ def _run_experiment(
     # the cache disabled.
     if "rows" not in table2_memo:
         table2_memo["rows"] = run_table2(
-            args.workloads, scale=args.scale, seed=args.seed, runtime=runtime
+            args.workloads,
+            scale=args.scale,
+            seed=args.seed,
+            runtime=runtime,
+            obs_dir=args.obs,
         )
     if experiment == "table2":
         return render_table2(table2_memo["rows"])
     if experiment == "speedups":
         return render_speedups(project_speedups(table2_memo["rows"]))
     raise ValueError(f"unknown experiment {experiment!r}")
+
+
+def _finalize_obs(obs_dir: str) -> None:
+    """Merge every per-job trace and the bridged scheduler runlog into
+    ``<obs_dir>/trace.json`` (best-effort: never fails the run)."""
+    try:
+        import json
+        from pathlib import Path
+
+        from repro.obs.bridge import merge_obs_dir
+
+        document = merge_obs_dir(obs_dir)
+        if not document["traceEvents"]:
+            return
+        out = Path(obs_dir) / "trace.json"
+        out.write_text(json.dumps(document) + "\n", encoding="utf-8")
+        print(
+            f"[obs] merged trace: {out} "
+            f"({len(document['traceEvents']):,} events) — "
+            "load at https://ui.perfetto.dev",
+            file=sys.stderr,
+        )
+    except Exception as exc:  # noqa: BLE001 - telemetry must not fail runs
+        print(f"[obs] trace merge failed: {exc}", file=sys.stderr)
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -123,6 +151,14 @@ def main(argv: "list[str] | None" = None) -> int:
         action="store_true",
         help="suppress per-job progress lines on stderr",
     )
+    parser.add_argument(
+        "--obs",
+        default=None,
+        metavar="DIR",
+        help="write observability artifacts (per-job metrics/events/"
+        "Chrome traces + bridged scheduler runlog + merged trace.json) "
+        "into this directory; table2 jobs run instrumented",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -135,37 +171,51 @@ def main(argv: "list[str] | None" = None) -> int:
         runlog=args.runlog,
         quiet=args.quiet,
     )
+    if args.obs:
+        from pathlib import Path
+
+        from repro.obs.bridge import ObsRunlogSink
+
+        runtime.bus.add(ObsRunlogSink(Path(args.obs) / "runtime.jsonl"))
 
     start = time.time()
     failures: "list[tuple[str, str]]" = []
     completed = 0
     table2_memo: "dict[str, list]" = {}
-    for experiment in selected:
-        experiment_start = time.time()
-        interrupted_before = runtime.stats.interrupted
-        try:
-            print(_run_experiment(experiment, args, runtime, table2_memo))
-        except KeyboardInterrupt:
-            failures.append((experiment, "interrupted"))
-            print(f"[{experiment}: interrupted]", file=sys.stderr)
-            break
-        except Exception as exc:  # noqa: BLE001 - keep running the rest
-            # The scheduler drains Ctrl-C into ``interrupted`` outcomes
-            # rather than re-raising; a Ctrl-C must stop the whole run,
-            # not fall through to the next experiment.
-            if runtime.stats.interrupted > interrupted_before:
+    try:
+        for experiment in selected:
+            experiment_start = time.time()
+            interrupted_before = runtime.stats.interrupted
+            try:
+                print(_run_experiment(experiment, args, runtime, table2_memo))
+            except KeyboardInterrupt:
                 failures.append((experiment, "interrupted"))
                 print(f"[{experiment}: interrupted]", file=sys.stderr)
                 break
-            failures.append((experiment, f"{type(exc).__name__}: {exc}"))
-            traceback.print_exc()
-            print(f"[{experiment}: FAILED]", file=sys.stderr)
-            continue
-        completed += 1
-        print(
-            f"[{experiment}: {time.time() - experiment_start:.1f}s]\n",
-            file=sys.stderr,
-        )
+            except Exception as exc:  # noqa: BLE001 - keep running the rest
+                # The scheduler drains Ctrl-C into ``interrupted`` outcomes
+                # rather than re-raising; a Ctrl-C must stop the whole run,
+                # not fall through to the next experiment.
+                if runtime.stats.interrupted > interrupted_before:
+                    failures.append((experiment, "interrupted"))
+                    print(f"[{experiment}: interrupted]", file=sys.stderr)
+                    break
+                failures.append((experiment, f"{type(exc).__name__}: {exc}"))
+                traceback.print_exc()
+                print(f"[{experiment}: FAILED]", file=sys.stderr)
+                continue
+            completed += 1
+            print(
+                f"[{experiment}: {time.time() - experiment_start:.1f}s]\n",
+                file=sys.stderr,
+            )
+    finally:
+        # Flush/close event sinks even on Ctrl-C so run logs (and the
+        # bridged obs runlog) are never truncated.
+        runtime.close()
+
+    if args.obs:
+        _finalize_obs(args.obs)
 
     stats = runtime.stats
     wall = time.time() - start

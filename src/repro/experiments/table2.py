@@ -76,31 +76,62 @@ class Table2Row:
 
 
 def run_table2_for(
-    name: str, scale: float = 1.0, seed: "int | None" = None
+    name: str,
+    scale: float = 1.0,
+    seed: "int | None" = None,
+    obs_dir: "str | None" = None,
 ) -> Table2Row:
-    """Run baseline + migrating chip for one workload."""
+    """Run baseline + migrating chip for one workload.
+
+    With ``obs_dir``, both passes run instrumented
+    (:class:`~repro.obs.probe.SimProbe`) and write their telemetry
+    artifact triples (metrics/events/Chrome trace) into that directory.
+    """
     spec = workload(name, scale=scale, seed=seed)
-    baseline = SingleCoreHierarchy()
+    baseline_probe = chip_probe = None
+    if obs_dir is not None:
+        from repro.obs import SimProbe
+
+        baseline_probe = SimProbe(name="baseline")
+        chip_probe = SimProbe(name="chip")
+    baseline = SingleCoreHierarchy(probe=baseline_probe)
     for access in spec.accesses():
         baseline.access(access)
-    chip = MultiCoreChip(ChipConfig())
+    chip = MultiCoreChip(ChipConfig(), probe=chip_probe)
     chip.run(spec.accesses())
+    if obs_dir is not None:
+        from repro.obs import save_report
+
+        save_report(
+            baseline_probe.report(workload=name, run="baseline"),
+            obs_dir,
+            f"table2-{name}-baseline",
+        )
+        save_report(
+            chip_probe.report(workload=name, run="chip"),
+            obs_dir,
+            f"table2-{name}-chip",
+        )
+    chip_stats = chip.stats.to_dict()
     return Table2Row(
         name=name,
-        instructions=chip.stats.instructions,
+        instructions=chip_stats["instructions"],
         l1_misses=chip.stats.l1_misses,
         l2_misses_baseline=baseline.stats.l2_misses,
-        l2_misses_migrating=chip.stats.l2_misses,
-        migrations=chip.stats.migrations,
-        accesses=chip.stats.accesses,
+        l2_misses_migrating=chip_stats["l2_misses"],
+        migrations=chip_stats["migrations"],
+        accesses=chip_stats["accesses"],
     )
 
 
 def table2_job(
-    name: str, scale: float = 1.0, seed: "int | None" = None
+    name: str,
+    scale: float = 1.0,
+    seed: "int | None" = None,
+    obs_dir: "str | None" = None,
 ) -> "dict[str, object]":
     """Runtime job: one Table 2 row as a JSON-able payload."""
-    row = run_table2_for(name, scale=scale, seed=seed)
+    row = run_table2_for(name, scale=scale, seed=seed, obs_dir=obs_dir)
     payload = asdict(row)
     # The identical trace runs through the baseline and the chip.
     payload["references"] = 2 * row.accesses
@@ -123,7 +154,11 @@ def table2_jobs(
     names: "Sequence[str]" = WORKLOAD_NAMES,
     scale: float = 1.0,
     seed: "int | None" = None,
+    obs_dir: "str | None" = None,
 ) -> "list[Job]":
+    # obs_dir joins the job params (and so the content hash) only when
+    # set, keeping plain runs' cache keys path-independent.
+    extra = {"obs_dir": obs_dir} if obs_dir is not None else {}
     return [
         Job.create(
             "repro.experiments.table2:table2_job",
@@ -131,6 +166,7 @@ def table2_jobs(
             name=name,
             scale=scale,
             seed=seed,
+            **extra,
         )
         for name in names
     ]
@@ -141,11 +177,17 @@ def run_table2(
     scale: float = 1.0,
     seed: "int | None" = None,
     runtime=None,
+    obs_dir: "str | None" = None,
 ) -> "list[Table2Row]":
     """Regenerate Table 2, serially or fanned out through a runtime."""
     if runtime is None:
-        return [run_table2_for(name, scale=scale, seed=seed) for name in names]
-    outcomes = runtime.map(table2_jobs(names, scale=scale, seed=seed))
+        return [
+            run_table2_for(name, scale=scale, seed=seed, obs_dir=obs_dir)
+            for name in names
+        ]
+    outcomes = runtime.map(
+        table2_jobs(names, scale=scale, seed=seed, obs_dir=obs_dir)
+    )
     return [table2_row_from_payload(p) for p in payloads(outcomes)]
 
 

@@ -24,7 +24,8 @@ so the ratio is apples-to-apples).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from dataclasses import fields as dataclass_fields
 
 from repro.caches.hierarchy import CoreCacheConfig
 from repro.core.controller import ControllerConfig, MigrationController
@@ -84,6 +85,27 @@ class ChipStats:
             return float("inf")
         return self.instructions / events
 
+    def to_dict(self) -> "dict[str, int]":
+        """Raw counters as a JSON-able dict — the one sanctioned way for
+        experiments and exporters to serialise chip statistics."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: "dict[str, object]") -> "ChipStats":
+        """Rebuild from :meth:`to_dict` output; unknown keys ignored so
+        payloads can carry extra derived fields."""
+        fields_ = {f.name for f in dataclass_fields(cls)}
+        return cls(**{k: int(v) for k, v in data.items() if k in fields_})
+
+    def merge(self, other: "ChipStats") -> "ChipStats":
+        """Element-wise sum (aggregating runs, e.g. in obs summaries)."""
+        return ChipStats(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in dataclass_fields(self)
+            }
+        )
+
 
 class MultiCoreChip:
     """Execute a trace on the migration-mode multi-core."""
@@ -93,6 +115,7 @@ class MultiCoreChip:
         config: "ChipConfig | None" = None,
         prefetcher_factory=None,
         controller=None,
+        probe=None,
     ) -> None:
         """``prefetcher_factory``, if given, is called once per core
         with that core's L2 and must return an object with
@@ -104,7 +127,12 @@ class MultiCoreChip:
         object exposing ``observe(line, l2_miss)``, ``current_subset()``
         and ``num_subsets`` — e.g. a
         :class:`~repro.core.multiway.HierarchicalController` for chips
-        with more than four cores (paper section 6)."""
+        with more than four cores (paper section 6).
+
+        ``probe``, if given, is a :class:`~repro.obs.probe.SimProbe`
+        wired into every instrumented component (migration engine,
+        coherent L2s, controller, transition filters, mechanisms); the
+        default ``None`` keeps every hook to a single attribute check."""
         self.config = config or ChipConfig()
         caches = self.config.caches
         self.il1 = caches.make_l1(caches.il1_bytes)
@@ -135,6 +163,14 @@ class MultiCoreChip:
         self.engine = MigrationEngine(self.config.num_cores)
         self.bus_traffic = UpdateBusTraffic()
         self.stats = ChipStats()
+        self.probe = probe
+        if probe is not None:
+            probe.bind_chip(self)
+            self.engine.probe = probe
+            self.l2s.probe = probe
+            attach = getattr(self.controller, "attach_probe", None)
+            if attach is not None:
+                attach(probe)
 
     @property
     def active_core(self) -> int:
@@ -146,6 +182,9 @@ class MultiCoreChip:
         stats.accesses += 1
         if access.instruction >= stats.instructions:
             stats.instructions = access.instruction + 1
+        probe = self.probe
+        if probe is not None:
+            probe.on_access(stats.accesses)
         line = access.address // self.config.caches.line_size
         kind = access.kind
         if kind is AccessKind.FETCH:

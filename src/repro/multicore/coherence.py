@@ -55,6 +55,9 @@ class CoherentL2s:
         self.config = config or CoreCacheConfig()
         self.caches = [self.config.make_l2() for _ in range(num_cores)]
         self.stats = CoherenceStats()
+        #: nil-by-default telemetry hook (:mod:`repro.obs.probe`);
+        #: reports per-eviction so the probe can detect eviction storms.
+        self.probe = None
 
     def access(self, active_core: int, line: int, write: bool) -> bool:
         """Demand access from the active core; returns ``True`` on hit."""
@@ -68,8 +71,13 @@ class CoherentL2s:
             return True
         stats.misses += 1
         # The miss allocated the line in the active L2 (dirty iff write).
-        if active.last_eviction is not None and active.last_eviction.dirty:
-            stats.writebacks += 1
+        eviction = active.last_eviction
+        if eviction is not None:
+            if eviction.dirty:
+                stats.writebacks += 1
+            probe = self.probe
+            if probe is not None:
+                probe.on_l2_eviction(active_core, eviction.line, eviction.dirty)
         if self._forward_from_owner(active_core, line):
             stats.forwards += 1
         else:

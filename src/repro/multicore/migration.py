@@ -48,11 +48,19 @@ class MigrationPenaltyModel:
 
 @dataclass
 class MigrationEngine:
-    """Tracks the active core and counts migrations."""
+    """Tracks the active core and counts migrations.
+
+    ``probe`` is the nil-by-default telemetry hook
+    (:mod:`repro.obs.probe`): when attached, every actual migration is
+    reported as ``migration.start`` / ``migration.commit`` events —
+    the two-phase hand-off of section 2.2.  The hook sits behind the
+    already-migrating branch, so the no-op path is untouched.
+    """
 
     num_cores: int
     active_core: int = 0
     migrations: int = 0
+    probe: "object | None" = None
 
     def __post_init__(self) -> None:
         if self.num_cores <= 0:
@@ -69,6 +77,9 @@ class MigrationEngine:
             raise ValueError(f"core {core} outside [0, {self.num_cores})")
         if core == self.active_core:
             return False
+        probe = self.probe
+        if probe is not None:
+            probe.on_migration(self.active_core, core)
         self.active_core = core
         self.migrations += 1
         return True

@@ -1,0 +1,57 @@
+"""repro.obs — simulator telemetry.
+
+The paper's argument is about *dynamic* behaviour — migration bursts,
+transition-filter hysteresis, per-core cache occupancy — which
+end-of-run counters average away.  This package adds the time axis:
+
+* :mod:`repro.obs.metrics` — zero-dependency counters, gauges,
+  HDR-style histograms and bounded rolling time-series;
+* :mod:`repro.obs.events` — the structured simulation event stream
+  (migration start/commit, filter flips, R-window rollovers, L2
+  eviction storms, update-bus saturation, controller transitions);
+* :mod:`repro.obs.probe` — :class:`~repro.obs.probe.SimProbe`, the
+  object instrumented hot paths report to.  Probes are **nil by
+  default**: every hook in the simulator is guarded by one
+  ``if probe is not None`` attribute check, so uninstrumented runs pay
+  effectively nothing (``benchmarks/obs_overhead.py`` verifies);
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (load a run in
+  Perfetto and watch execution hop between cores), JSONL, and terminal
+  summaries;
+* :mod:`repro.obs.bridge` — merges the runtime's scheduler
+  :class:`~repro.runtime.events.JobEvent` stream into the same sink.
+
+Command line: ``python -m repro.obs {summarize,export}``; producer
+side: ``python -m repro.experiments.run_all --obs <dir>``.
+"""
+
+from repro.obs.events import EventLog, SimEvent
+from repro.obs.export import (
+    chrome_trace,
+    merge_trace_documents,
+    save_report,
+    summarize_reports,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+)
+from repro.obs.probe import ObsReport, SimProbe
+
+__all__ = [
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsReport",
+    "SimEvent",
+    "SimProbe",
+    "TimeSeries",
+    "chrome_trace",
+    "merge_trace_documents",
+    "save_report",
+    "summarize_reports",
+]

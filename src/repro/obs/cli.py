@@ -1,0 +1,131 @@
+"""``python -m repro.obs`` — inspect and export observability artifacts.
+
+Subcommands::
+
+    python -m repro.obs summarize obs-out/
+    python -m repro.obs export obs-out/ -o obs-out/trace.json
+
+``summarize`` prints a terminal table over every report in an ``--obs``
+directory (one row per instrumented job) plus the event-kind census and
+the merged chip counters.  ``export`` merges every per-job Chrome trace
+and the bridged scheduler runlog into one Perfetto-loadable file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.bridge import merge_obs_dir
+from repro.obs.export import load_events_jsonl, summarize_reports
+from repro.obs.probe import ObsReport
+
+
+def load_reports(directory: "str | Path") -> "list[ObsReport]":
+    """Rebuild reports from the ``*.metrics.json`` / ``*.events.jsonl``
+    artifact pairs in a directory."""
+    directory = Path(directory)
+    reports: "list[ObsReport]" = []
+    for metrics_path in sorted(directory.glob("*.metrics.json")):
+        try:
+            data = json.loads(metrics_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        events_path = metrics_path.with_name(
+            metrics_path.name.replace(".metrics.json", ".events.jsonl")
+        )
+        events = load_events_jsonl(events_path) if events_path.exists() else []
+        reports.append(
+            ObsReport(
+                meta=dict(data.get("meta", {})),
+                metrics=dict(data.get("metrics", {})),
+                events=events,
+                dropped_events=int(data.get("dropped_events", 0)),
+            )
+        )
+    return reports
+
+
+def _merged_chip_counters(reports: "list[ObsReport]") -> "str | None":
+    from repro.experiments.report import counters_section
+    from repro.multicore.chip import ChipStats
+
+    stats_dicts = [
+        report.meta["chip_stats"]
+        for report in reports
+        if isinstance(report.meta.get("chip_stats"), dict)
+    ]
+    if not stats_dicts:
+        return None
+    merged = ChipStats()
+    for data in stats_dicts:
+        merged = merged.merge(ChipStats.from_dict(data))
+    return counters_section(
+        f"chip counters (merged over {len(stats_dicts)} run(s))",
+        merged.to_dict(),
+    )
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    reports = load_reports(args.directory)
+    if not reports:
+        print(f"no *.metrics.json artifacts in {args.directory}", file=sys.stderr)
+        return 1
+    print(summarize_reports(reports))
+    merged = _merged_chip_counters(reports)
+    if merged:
+        print()
+        print(merged)
+    runlog = Path(args.directory) / "runtime.jsonl"
+    if runlog.exists():
+        print(f"\nscheduler events bridged: {len(load_events_jsonl(runlog)):,}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    document = merge_obs_dir(args.directory)
+    if not document["traceEvents"]:
+        print(f"no trace artifacts in {args.directory}", file=sys.stderr)
+        return 1
+    out = Path(args.output or (Path(args.directory) / "trace.json"))
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(document) + "\n", encoding="utf-8")
+    print(
+        f"wrote {out} ({len(document['traceEvents']):,} trace events) — "
+        "load it at https://ui.perfetto.dev"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summarize = sub.add_parser(
+        "summarize", help="terminal summary of an --obs directory"
+    )
+    summarize.add_argument("directory", help="the run_all --obs output directory")
+    summarize.set_defaults(handler=_cmd_summarize)
+
+    export = sub.add_parser(
+        "export", help="merge all traces into one Chrome trace-event JSON"
+    )
+    export.add_argument("directory", help="the run_all --obs output directory")
+    export.add_argument(
+        "-o", "--output", default=None, help="output path (default: <dir>/trace.json)"
+    )
+    export.set_defaults(handler=_cmd_export)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

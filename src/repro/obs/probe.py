@@ -1,0 +1,290 @@
+"""The simulation probe: where instrumented hot paths report to.
+
+Instrumented components (:class:`~repro.multicore.chip.MultiCoreChip`,
+:class:`~repro.core.controller.MigrationController`, the caches) carry
+a ``probe`` attribute that is ``None`` by default; every hot-path hook
+is guarded by a single ``if probe is not None`` attribute check, so a
+run without observability pays one attribute load per hook and nothing
+else (``benchmarks/obs_overhead.py`` measures this).
+
+When a :class:`SimProbe` is attached it maintains:
+
+* a **reference clock** — ``now`` is the number of trace references
+  processed so far, advanced by whichever component reports the
+  largest local count (the chip when present, the controller when used
+  standalone);
+* a :class:`~repro.obs.metrics.MetricsRegistry` of counters,
+  histograms, and rolling time-series (sampled every
+  ``sample_interval`` references);
+* an :class:`~repro.obs.events.EventLog` of structured
+  :class:`~repro.obs.events.SimEvent` records — migrations, filter
+  flips, R-window rollovers, L2 eviction storms, update-bus
+  saturation, controller transitions.
+
+``probe.report()`` snapshots everything into an :class:`ObsReport`,
+which the exporters in :mod:`repro.obs.export` turn into Chrome
+trace-event JSON, JSONL, and terminal summaries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.obs import events as ev
+from repro.obs.events import EventLog, SimEvent
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass
+class ObsReport:
+    """One probe's snapshot: metadata + metrics + events."""
+
+    meta: "dict[str, object]" = field(default_factory=dict)
+    metrics: "dict[str, object]" = field(default_factory=dict)
+    events: "list[SimEvent]" = field(default_factory=list)
+    dropped_events: int = 0
+
+    def to_dict(self) -> "dict[str, object]":
+        return {
+            "meta": self.meta,
+            "metrics": self.metrics,
+            "dropped_events": self.dropped_events,
+            "event_kinds": _kind_counts(self.events),
+        }
+
+
+def _kind_counts(events: "list[SimEvent]") -> "dict[str, int]":
+    counts: "dict[str, int]" = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return counts
+
+
+class SimProbe:
+    """Collects telemetry from instrumented simulator components.
+
+    Parameters tune cost/detail:
+
+    * ``sample_interval`` — references between time-series samples;
+    * ``max_events`` — hard cap on stored events (drops are counted);
+    * ``storm_window`` / ``storm_threshold`` — an ``l2.eviction_storm``
+      event fires when ``storm_threshold`` L2 evictions land within
+      ``storm_window`` references;
+    * ``bus_saturation_bytes_per_ref`` — a ``bus.saturation`` event
+      fires when measured update-bus traffic first exceeds this many
+      bytes per reference over a sample interval (default: one cache
+      line per reference, i.e. the mirror-fill worst case).
+    """
+
+    def __init__(
+        self,
+        name: str = "sim",
+        sample_interval: int = 1000,
+        max_events: int = 100_000,
+        storm_window: int = 256,
+        storm_threshold: int = 16,
+        bus_saturation_bytes_per_ref: float = 64.0,
+    ) -> None:
+        if sample_interval < 1:
+            raise ValueError(
+                f"sample_interval must be >= 1, got {sample_interval}"
+            )
+        self.name = name
+        self.sample_interval = sample_interval
+        self.storm_window = storm_window
+        self.storm_threshold = storm_threshold
+        self.bus_saturation_bytes_per_ref = bus_saturation_bytes_per_ref
+        self.registry = MetricsRegistry()
+        self.log = EventLog(max_events)
+        self.now = 0
+        self._chip = None
+        self._hierarchy = None
+        self._next_sample = sample_interval
+        self._last_migration_t: "int | None" = None
+        self._eviction_times: "deque[int]" = deque()
+        self._bus_saturated = False
+        self._last_bus_bytes = 0
+        self._last_l2_misses = 0
+        self._last_l1_misses = 0
+        self._migration_penalty_cycles: "float | None" = None
+
+    # -- wiring ---------------------------------------------------------
+
+    def bind_chip(self, chip) -> None:
+        """Called by :class:`~repro.multicore.chip.MultiCoreChip` when
+        the probe is attached; sampling snapshots this chip's stats."""
+        self._chip = chip
+
+    def bind_hierarchy(self, hierarchy) -> None:
+        """Same, for the single-core baseline hierarchy."""
+        self._hierarchy = hierarchy
+
+    # -- clock ----------------------------------------------------------
+
+    def _advance(self, t: int) -> None:
+        if t > self.now:
+            self.now = t
+
+    # -- hot-path hooks -------------------------------------------------
+
+    def on_access(self, t: int) -> None:
+        """One trace reference entered the chip/hierarchy (the clock)."""
+        self._advance(t)
+        if t >= self._next_sample:
+            self._next_sample = t - (t % self.sample_interval) + self.sample_interval
+            self._sample(t)
+
+    def on_migration(self, from_core: int, to_core: int) -> None:
+        """The active core moved (reported by the migration engine)."""
+        t = self.now
+        if self._migration_penalty_cycles is None:
+            from repro.multicore.migration import MigrationPenaltyModel
+
+            self._migration_penalty_cycles = MigrationPenaltyModel().migration_cycles()
+        self.registry.counter("migrations").inc()
+        if self._last_migration_t is not None:
+            self.registry.histogram("migration.gap_refs").record(
+                t - self._last_migration_t
+            )
+        self._last_migration_t = t
+        self.log.emit(
+            ev.MIGRATION_START, t, from_core=from_core, to_core=to_core
+        )
+        self.log.emit(
+            ev.MIGRATION_COMMIT,
+            t,
+            from_core=from_core,
+            to_core=to_core,
+            penalty_cycles=self._migration_penalty_cycles,
+        )
+
+    def on_filter_flip(self, name: str, sign: int, value: int) -> None:
+        """A transition filter's sign changed."""
+        self.registry.counter("filter.flips").inc()
+        self.log.emit(
+            ev.FILTER_FLIP, self.now, filter=name, sign=sign, value=value
+        )
+
+    def on_window_rollover(
+        self, name: str, window_size: int, references: int
+    ) -> None:
+        """A split mechanism's R-window turned over completely."""
+        self._advance(references)
+        self.registry.counter("window.rollovers").inc()
+        self.log.emit(
+            ev.WINDOW_ROLLOVER,
+            self.now,
+            mechanism=name,
+            window_size=window_size,
+            references=references,
+        )
+
+    def on_transition(
+        self, reference: int, subset_before: int, subset_after: int
+    ) -> None:
+        """The controller's subset decision moved."""
+        self._advance(reference)
+        self.registry.counter("controller.transitions").inc()
+        self.log.emit(
+            ev.CONTROLLER_TRANSITION,
+            self.now,
+            subset_before=subset_before,
+            subset_after=subset_after,
+        )
+
+    def on_l2_eviction(self, core: int, line: int, dirty: bool) -> None:
+        """An L2 evicted a line; clusters become storm events."""
+        t = self.now
+        self.registry.counter("l2.evictions").inc()
+        times = self._eviction_times
+        times.append(t)
+        floor = t - self.storm_window
+        while times and times[0] < floor:
+            times.popleft()
+        if len(times) >= self.storm_threshold:
+            self.registry.counter("l2.eviction_storms").inc()
+            self.registry.histogram("l2.storm_size").record(len(times))
+            self.log.emit(
+                ev.L2_EVICTION_STORM,
+                t,
+                core=core,
+                evictions=len(times),
+                window_refs=self.storm_window,
+            )
+            times.clear()  # one storm event per burst, not per eviction
+
+    # -- periodic sampling ----------------------------------------------
+
+    def _sample(self, t: int) -> None:
+        registry = self.registry
+        chip = self._chip
+        if chip is not None:
+            stats = chip.stats
+            registry.series("chip.active_core").append(
+                t, float(chip.engine.active_core)
+            )
+            l2_misses = stats.l2_misses
+            registry.series("chip.l2_miss_rate").append(
+                t, (l2_misses - self._last_l2_misses) / self.sample_interval
+            )
+            self._last_l2_misses = l2_misses
+            l1_misses = stats.il1_misses + stats.dl1_misses
+            registry.series("chip.l1_miss_rate").append(
+                t, (l1_misses - self._last_l1_misses) / self.sample_interval
+            )
+            self._last_l1_misses = l1_misses
+            registry.series("chip.migrations").append(
+                t, float(stats.migrations)
+            )
+            bus_bytes = chip.bus_traffic.total_bytes
+            bytes_per_ref = (
+                bus_bytes - self._last_bus_bytes
+            ) / self.sample_interval
+            self._last_bus_bytes = bus_bytes
+            registry.series("bus.bytes_per_ref").append(t, bytes_per_ref)
+            saturated = bytes_per_ref > self.bus_saturation_bytes_per_ref
+            if saturated and not self._bus_saturated:
+                self.registry.counter("bus.saturation_episodes").inc()
+                self.log.emit(
+                    ev.BUS_SATURATION,
+                    t,
+                    bytes_per_ref=bytes_per_ref,
+                    threshold=self.bus_saturation_bytes_per_ref,
+                )
+            self._bus_saturated = saturated
+        hierarchy = self._hierarchy
+        if hierarchy is not None:
+            stats = hierarchy.stats
+            registry.series("baseline.l2_miss_rate").append(
+                t, (stats.l2_misses - self._last_l2_misses) / self.sample_interval
+            )
+            self._last_l2_misses = stats.l2_misses
+            registry.series("baseline.l1_miss_rate").append(
+                t, (stats.l1_misses - self._last_l1_misses) / self.sample_interval
+            )
+            self._last_l1_misses = stats.l1_misses
+
+    # -- snapshots ------------------------------------------------------
+
+    def report(self, **meta: object) -> ObsReport:
+        """Snapshot the probe into a serialisable report."""
+        info: "dict[str, object]" = {
+            "probe": self.name,
+            "references": self.now,
+            "sample_interval": self.sample_interval,
+        }
+        chip = self._chip
+        if chip is not None:
+            info["num_cores"] = chip.config.num_cores
+            info["chip_stats"] = chip.stats.to_dict()
+        hierarchy = self._hierarchy
+        if hierarchy is not None:
+            info["hierarchy_stats"] = dict(vars(hierarchy.stats))
+        info.update(meta)
+        return ObsReport(
+            meta=info,
+            metrics=self.registry.to_dict(),
+            events=list(self.log.events),
+            dropped_events=self.log.dropped,
+        )

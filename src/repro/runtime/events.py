@@ -6,6 +6,12 @@ the job label/hash, attempt number, duration, references simulated and
 the derived refs/sec.  Sinks fan the stream out: human-readable lines
 on stderr, machine-readable JSONL run logs, or in-memory capture for
 tests.
+
+The sink protocol is ``emit(event)`` plus an optional ``close()``.
+Sinks that buffer (the JSONL run log) flush every event as it is
+written and are explicitly closed when the run ends — including a run
+ending in Ctrl-C — so an interrupted run log is never truncated mid
+record.  A closed sink re-opens lazily if emitted to again.
 """
 
 from __future__ import annotations
@@ -84,19 +90,39 @@ class StderrSink:
         print("  ".join(parts), file=self.stream)
         self.stream.flush()
 
+    def close(self) -> None:
+        try:
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass  # stream already gone (interpreter teardown)
+
 
 class JsonlSink:
-    """Append every event as one JSON object per line (the run log)."""
+    """Append every event as one JSON object per line (the run log).
+
+    The file handle is held open across events (one open per run, not
+    per event) and flushed after every line, so a Ctrl-C'd run keeps
+    every event that was emitted.  ``close()`` releases the handle; a
+    later ``emit`` re-opens in append mode.
+    """
 
     def __init__(self, path: "str | Path") -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: "IO[str] | None" = None
 
     def emit(self, event: JobEvent) -> None:
-        with self.path.open("a", encoding="utf-8") as handle:
-            record = asdict(event)
-            record["refs_per_sec"] = event.refs_per_sec
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        if self._handle is None:
+            self._handle = self.path.open("a", encoding="utf-8")
+        record = asdict(event)
+        record["refs_per_sec"] = event.refs_per_sec
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
 
 
 class MemorySink:
@@ -104,9 +130,13 @@ class MemorySink:
 
     def __init__(self) -> None:
         self.events: "list[JobEvent]" = []
+        self.closed = False
 
     def emit(self, event: JobEvent) -> None:
         self.events.append(event)
+
+    def close(self) -> None:
+        self.closed = True
 
 
 class EventBus:
@@ -126,5 +156,20 @@ class EventBus:
             except Exception as exc:  # noqa: BLE001 - diagnostics only
                 print(
                     f"[runtime] event sink {type(sink).__name__} failed: {exc}",
+                    file=sys.stderr,
+                )
+
+    def close(self) -> None:
+        """Close every sink that supports it (same isolation as emit)."""
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is None:
+                continue
+            try:
+                close()
+            except Exception as exc:  # noqa: BLE001 - diagnostics only
+                print(
+                    f"[runtime] event sink {type(sink).__name__} "
+                    f"failed to close: {exc}",
                     file=sys.stderr,
                 )

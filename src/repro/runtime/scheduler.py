@@ -183,6 +183,11 @@ class ExperimentRuntime:
     def run_one(self, job: Job) -> JobOutcome:
         return self.map([job])[0]
 
+    def close(self) -> None:
+        """Flush and close every event sink (idempotent; sinks re-open
+        lazily if the runtime is used again)."""
+        self.bus.close()
+
     # -- shared helpers -------------------------------------------------
 
     def _emit(self, kind: str, job: Job, **extra: object) -> None:
@@ -261,6 +266,7 @@ class ExperimentRuntime:
             for job in jobs[interrupted_at:]:
                 self._emit("interrupted", job)
                 outcomes.append(JobOutcome(job=job, status=INTERRUPTED))
+            self.bus.close()  # interrupted events must reach disk
         return outcomes
 
     # -- parallel mode --------------------------------------------------
@@ -298,6 +304,9 @@ class ExperimentRuntime:
                 outcomes[index] = JobOutcome(
                     job=jobs[index], status=INTERRUPTED, attempts=attempt
                 )
+            # The run is over: make sure the interrupted events (and
+            # everything before them) are on disk, not in a buffer.
+            self.bus.close()
         return [
             outcome
             if outcome is not None

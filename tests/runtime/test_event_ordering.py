@@ -1,0 +1,151 @@
+"""Event-stream ordering guarantees (satellite of the obs work).
+
+Every job's lifecycle must read ``queued -> started -> (retried ->
+started)* -> finished | failed`` in the emitted stream — even when
+workers crash and the scheduler retries — and the obs bridge must
+preserve that order into merged trace output, where same-millisecond
+timestamps would otherwise shuffle it.
+"""
+
+import re
+
+from repro.obs.bridge import bridge_job_events, runtime_trace_events
+from repro.runtime import (
+    EventBus,
+    ExperimentRuntime,
+    Job,
+    ResultCache,
+    RuntimeConfig,
+)
+from repro.runtime.events import MemorySink
+
+ECHO = "tests.runtime.helper_jobs:echo_job"
+FAIL = "tests.runtime.helper_jobs:failing_job"
+CRASH_ONCE = "tests.runtime.helper_jobs:crash_once_job"
+ALWAYS_CRASH = "tests.runtime.helper_jobs:always_crash_job"
+
+#: a well-formed per-job lifecycle, as a regex over event names
+LIFECYCLE = re.compile(
+    r"^queued (started retried )*(started (finished|failed)|cache-hit)$"
+)
+
+
+def run_jobs(tmp_path, job_list, **config):
+    sink = MemorySink()
+    runtime = ExperimentRuntime(
+        config=RuntimeConfig(**config),
+        cache=ResultCache(root=tmp_path / "cache"),
+        bus=EventBus([sink]),
+    )
+    runtime.map(job_list)
+    runtime.close()
+    return sink.events
+
+
+def lifecycles(events):
+    """Event-name sequence per job (by hash), in emission order."""
+    per_job = {}
+    for event in events:
+        per_job.setdefault(event.job_hash, []).append(event.event)
+    return per_job
+
+
+class TestPerJobOrdering:
+    def test_clean_parallel_run(self, tmp_path):
+        events = run_jobs(
+            tmp_path,
+            [Job.create(ECHO, value=i) for i in range(6)],
+            jobs=2,
+            use_cache=False,
+        )
+        per_job = lifecycles(events)
+        assert len(per_job) == 6
+        for label, sequence in per_job.items():
+            assert LIFECYCLE.match(" ".join(sequence)), (label, sequence)
+
+    def test_crash_retry_keeps_order(self, tmp_path):
+        events = run_jobs(
+            tmp_path,
+            [Job.create(CRASH_ONCE, marker_path=str(tmp_path / "marker"))]
+            + [Job.create(ECHO, value=i) for i in range(3)],
+            jobs=2,
+            retries=1,
+            use_cache=False,
+        )
+        per_job = lifecycles(events)
+        crashed = next(s for label, s in per_job.items() if "retried" in s)
+        assert crashed == ["queued", "started", "retried", "started", "finished"]
+        for sequence in per_job.values():
+            assert LIFECYCLE.match(" ".join(sequence)), sequence
+
+    def test_exhausted_retries_end_in_failed(self, tmp_path):
+        events = run_jobs(
+            tmp_path,
+            [Job.create(ALWAYS_CRASH)],
+            jobs=2,
+            retries=2,
+            use_cache=False,
+        )
+        sequence = next(iter(lifecycles(events).values()))
+        assert sequence == [
+            "queued",
+            "started",
+            "retried",
+            "started",
+            "retried",
+            "started",
+            "failed",
+        ]
+
+    def test_job_exception_ends_in_failed_without_retry(self, tmp_path):
+        events = run_jobs(
+            tmp_path,
+            [Job.create(FAIL, message="boom"), Job.create(ECHO, value=1)],
+            jobs=2,
+            retries=3,
+            use_cache=False,
+        )
+        per_job = lifecycles(events)
+        failed = next(s for s in per_job.values() if "failed" in s)
+        assert failed == ["queued", "started", "failed"]
+
+
+class TestBridgedOrdering:
+    def test_bridge_keeps_crash_retry_order(self, tmp_path):
+        events = run_jobs(
+            tmp_path,
+            [Job.create(CRASH_ONCE, marker_path=str(tmp_path / "marker"))],
+            jobs=2,
+            retries=1,
+            use_cache=False,
+        )
+        bridged = bridge_job_events(events)
+        # seq is strictly increasing, so order survives JSON round-trips
+        # even when wall-clock timestamps collide.
+        assert [e.seq for e in bridged] == list(range(1, len(bridged) + 1))
+        kinds = [e.kind for e in bridged]
+        assert kinds == [
+            "runtime.queued",
+            "runtime.started",
+            "runtime.retried",
+            "runtime.started",
+            "runtime.finished",
+        ]
+
+    def test_merged_trace_span_covers_final_attempt(self, tmp_path):
+        events = run_jobs(
+            tmp_path,
+            [Job.create(CRASH_ONCE, marker_path=str(tmp_path / "marker"))],
+            jobs=2,
+            retries=1,
+            use_cache=False,
+        )
+        bridged = bridge_job_events(events)
+        trace = runtime_trace_events(bridged)
+        spans = [e for e in trace if e["ph"] == "X"]
+        assert len(spans) == 1
+        span = spans[0]
+        assert span["name"] == "finished"
+        # The span opens at the *second* started (the successful attempt).
+        second_started = [e for e in bridged if e.kind == "runtime.started"][1]
+        assert span["ts"] == second_started.t
