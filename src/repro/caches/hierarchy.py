@@ -177,3 +177,23 @@ class SingleCoreHierarchy:
             eviction = self.l2.last_eviction
             if eviction is not None:
                 probe.on_l2_eviction(0, eviction.line, eviction.dirty)
+
+    def run(self, accesses) -> HierarchyStats:
+        """Run a whole trace; returns the accumulated stats."""
+        for access in accesses:
+            self.access(access)
+        return self.stats
+
+    def run_arrays(self, addresses, kinds, instructions) -> HierarchyStats:
+        """Run a whole trace given as parallel arrays (the batched fast
+        path — bit-identical to :meth:`run`, see ``repro.kernels``)."""
+        from repro.kernels.batch import run_hierarchy_arrays
+
+        return run_hierarchy_arrays(self, addresses, kinds, instructions)
+
+    def run_filtered(self, record) -> HierarchyStats:
+        """Replay a precomputed L1-filter miss stream, skipping the L1
+        stage (see :mod:`repro.kernels.l1filter`)."""
+        from repro.kernels.batch import run_hierarchy_filtered
+
+        return run_hierarchy_filtered(self, record)

@@ -74,6 +74,46 @@ class SetAssociativeCache:
             self._install(cache_set, line, dirty=write)
         return False
 
+    def access_many(self, lines, write: bool = False, allocate: bool = True) -> int:
+        """Batched :meth:`access` over ``lines``; returns the hit count.
+
+        Bit-identical to the per-line loop (stats, recency order, dirty
+        bits, ``last_eviction`` after the final access), with lookups
+        hoisted out of the inner loop.
+        """
+        sets = self._sets
+        mask = self._mask
+        ways = self.ways
+        hits = accesses = evictions = writebacks = 0
+        last = None
+        for line in lines:
+            accesses += 1
+            last = None
+            cache_set = sets[line & mask]
+            if line in cache_set:
+                hits += 1
+                cache_set.move_to_end(line)
+                if write:
+                    cache_set[line] = True
+                continue
+            if allocate:
+                if len(cache_set) >= ways:
+                    victim, victim_dirty = cache_set.popitem(False)
+                    evictions += 1
+                    if victim_dirty:
+                        writebacks += 1
+                    last = EvictedLine(victim, victim_dirty)
+                cache_set[line] = write
+        if accesses:
+            stats = self.stats
+            stats.accesses += accesses
+            stats.hits += hits
+            stats.misses += accesses - hits
+            stats.evictions += evictions
+            stats.writebacks += writebacks
+            self.last_eviction = last
+        return hits
+
     def _install(self, cache_set: "OrderedDict[int, bool]", line: int, dirty: bool) -> None:
         if len(cache_set) >= self.ways:
             victim, victim_dirty = cache_set.popitem(last=False)

@@ -102,6 +102,18 @@ class ControllerStats:
 class MigrationController:
     """Online K-way working-set splitter (K = 2 or 4)."""
 
+    __slots__ = (
+        "config",
+        "store",
+        "mechanism_x",
+        "filter_x",
+        "mechanism_y",
+        "filter_y",
+        "stats",
+        "probe",
+        "_previous_subset",
+    )
+
     def __init__(self, config: "ControllerConfig | None" = None) -> None:
         self.config = config or ControllerConfig()
         cfg = self.config

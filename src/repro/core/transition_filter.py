@@ -30,6 +30,15 @@ class TransitionFilter:
     so the common non-flipping path costs nothing extra.
     """
 
+    __slots__ = (
+        "_counter",
+        "name",
+        "probe",
+        "updates",
+        "sign_changes",
+        "_last_sign",
+    )
+
     def __init__(self, bits: int = 20, name: str = "F") -> None:
         self._counter = SaturatingCounter(bits)
         self.name = name

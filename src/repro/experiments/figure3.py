@@ -14,7 +14,10 @@ summary statistics and the raw series for plotting.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
+from itertools import islice
 from typing import Sequence
+
+import numpy as np
 
 from repro.core.affinity_store import UnboundedAffinityStore
 from repro.core.mechanism import SplitMechanism
@@ -83,32 +86,39 @@ def run_figure3(
         last_time = 0
         last_transitions = 0
         stream = behavior.addresses(snapshot_times[-1])
-        next_snapshots = list(snapshot_times)
-        for t, element in enumerate(stream, start=1):
-            affinity = mechanism.process(element)
-            sign = affinity >= 0
-            if previous_sign is not None and sign != previous_sign:
-                transitions += 1
-            previous_sign = sign
-            if next_snapshots and t == next_snapshots[0]:
-                next_snapshots.pop(0)
-                interval = max(1, t - last_time)
-                snapshots.append(
-                    Figure3Snapshot(
-                        behavior=label,
-                        time=t,
-                        affinities=tuple(
-                            mechanism.affinity_of(e) or 0
-                            for e in range(num_elements)
-                        ),
-                        transitions_so_far=transitions,
-                        tail_transition_frequency=(
-                            (transitions - last_transitions) / interval
-                        ),
-                    )
+        t = 0
+        # The stream is consumed in snapshot-to-snapshot segments so the
+        # mechanism can run its batched fast path between instants; the
+        # sign-transition count over each segment is vectorised.
+        for target in snapshot_times:
+            segment = list(islice(stream, target - t))
+            affinities = mechanism.process_many(segment)
+            t += len(segment)
+            if affinities:
+                signs = np.asarray(affinities, dtype=np.int64) >= 0
+                if previous_sign is not None and bool(signs[0]) != previous_sign:
+                    transitions += 1
+                transitions += int(np.count_nonzero(signs[1:] != signs[:-1]))
+                previous_sign = bool(signs[-1])
+            if t != target:
+                break  # stream exhausted before this instant
+            interval = max(1, t - last_time)
+            snapshots.append(
+                Figure3Snapshot(
+                    behavior=label,
+                    time=t,
+                    affinities=tuple(
+                        mechanism.affinity_of(e) or 0
+                        for e in range(num_elements)
+                    ),
+                    transitions_so_far=transitions,
+                    tail_transition_frequency=(
+                        (transitions - last_transitions) / interval
+                    ),
                 )
-                last_time = t
-                last_transitions = transitions
+            )
+            last_time = t
+            last_transitions = transitions
         results[label] = snapshots
     return results
 

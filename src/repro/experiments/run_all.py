@@ -159,10 +159,26 @@ def main(argv: "list[str] | None" = None) -> int:
         "Chrome traces + bridged scheduler runlog + merged trace.json) "
         "into this directory; table2 jobs run instrumented",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="dump a cProfile .prof per executed job into the --obs "
+        "directory (or next to the --runlog, or ./profiles)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     selected = args.only or list(_EXPERIMENTS)
+    profile_dir = None
+    if args.profile:
+        from pathlib import Path
+
+        if args.obs:
+            profile_dir = str(Path(args.obs) / "profiles")
+        elif args.runlog:
+            profile_dir = str(Path(args.runlog).parent / "profiles")
+        else:
+            profile_dir = "profiles"
     runtime = runtime_from_args(
         jobs=args.jobs,
         timeout=args.timeout,
@@ -170,6 +186,7 @@ def main(argv: "list[str] | None" = None) -> int:
         no_cache=args.no_cache,
         runlog=args.runlog,
         quiet=args.quiet,
+        profile_dir=profile_dir,
     )
     if args.obs:
         from pathlib import Path
@@ -216,6 +233,12 @@ def main(argv: "list[str] | None" = None) -> int:
 
     if args.obs:
         _finalize_obs(args.obs)
+    if profile_dir:
+        print(
+            f"[profile] per-job cProfile dumps in {profile_dir}/ "
+            "(inspect with python -m pstats)",
+            file=sys.stderr,
+        )
 
     stats = runtime.stats
     wall = time.time() - start

@@ -10,6 +10,12 @@ This driver runs each workload twice over the identical trace: once
 through the single-core hierarchy (baseline) and once through the
 migration-mode chip (section 4.2 configuration), then derives the
 paper's columns plus the break-even ``P_mig``.
+
+Both passes replay the workload's shared
+:class:`~repro.kernels.l1filter.L1FilterRecord` (the L1 stage is
+simulated once per trace and geometry, cached on disk), which is
+bit-identical to feeding the raw trace through ``chip.run`` — see
+``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -19,7 +25,8 @@ from typing import Sequence
 
 from repro.caches.hierarchy import SingleCoreHierarchy
 from repro.experiments.report import ratio_cell, render_rows, section
-from repro.experiments.workloads import WORKLOAD_NAMES, workload
+from repro.experiments.workloads import WORKLOAD_NAMES
+from repro.kernels.l1filter import ensure_l1_filter
 from repro.multicore.chip import ChipConfig, MultiCoreChip
 from repro.multicore.migration import break_even_pmig
 from repro.runtime import Job, payloads
@@ -87,7 +94,7 @@ def run_table2_for(
     (:class:`~repro.obs.probe.SimProbe`) and write their telemetry
     artifact triples (metrics/events/Chrome trace) into that directory.
     """
-    spec = workload(name, scale=scale, seed=seed)
+    record, _cached = ensure_l1_filter(name, scale=scale, seed=seed)
     baseline_probe = chip_probe = None
     if obs_dir is not None:
         from repro.obs import SimProbe
@@ -95,10 +102,9 @@ def run_table2_for(
         baseline_probe = SimProbe(name="baseline")
         chip_probe = SimProbe(name="chip")
     baseline = SingleCoreHierarchy(probe=baseline_probe)
-    for access in spec.accesses():
-        baseline.access(access)
+    baseline.run_filtered(record)
     chip = MultiCoreChip(ChipConfig(), probe=chip_probe)
-    chip.run(spec.accesses())
+    chip.run_filtered(record)
     if obs_dir is not None:
         from repro.obs import save_report
 

@@ -8,11 +8,17 @@ workload; the paper ran 10^9 instructions), and the test suite uses
 much smaller scales.
 
 Olden traces are cached per (name, scale) because building them means
-actually running the benchmark.
+actually running the benchmark — in memory per process (``lru_cache``)
+and on disk across processes: :meth:`WorkloadSpec.arrays` memoises each
+generated Olden trace as a ``file_format`` npz under the runtime cache
+dir, keyed by (workload, scale, seed, code version), so repeated sweep
+jobs skip pure-Python trace regeneration entirely.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Iterator
@@ -62,10 +68,66 @@ class WorkloadSpec:
         model.length = max(10_000, int(model.length * self.scale))
         return model.accesses()
 
+    def arrays(self):
+        """The trace as ``(addresses, kinds, instructions)`` arrays.
+
+        Olden traces go through the on-disk npz memo (generation means
+        actually running the benchmark); SPEC models are cheap streams
+        and are just materialised.
+        """
+        if self.is_olden:
+            return _olden_arrays(self.name, self.scale, self.seed)
+        from repro.kernels.arrays import trace_to_arrays
+
+        return trace_to_arrays(self.accesses())
+
 
 @lru_cache(maxsize=8)
 def _olden_trace(name: str, scale: float, seed: "int | None" = None):
     return olden_benchmark(name, scale=scale, seed=seed)
+
+
+def olden_trace_path(name: str, scale: float, seed: "int | None" = None):
+    """Where :meth:`WorkloadSpec.arrays` memoises this Olden trace.
+
+    Lives under the runtime result cache's current code generation, so
+    editing simulator source invalidates trace memos alongside result
+    artifacts (``repro.runtime.cache``).
+    """
+    from repro.runtime.cache import code_fingerprint, default_cache_root
+
+    stem = f"olden-{name}-s{scale}-r{'default' if seed is None else seed}"
+    return default_cache_root() / code_fingerprint() / "traces" / f"{stem}.npz"
+
+
+def _olden_arrays(name: str, scale: float, seed: "int | None"):
+    from repro.traces.file_format import load_trace, save_trace_arrays
+
+    path = olden_trace_path(name, scale, seed)
+    if path.is_file():
+        try:
+            return load_trace(path).arrays()
+        except (OSError, ValueError, KeyError):
+            pass  # corrupt/stale memo: fall through and regenerate
+    arrays = _olden_trace(name, scale, seed).arrays()
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            dir=str(path.parent), prefix=".tmp-", suffix=".npz", delete=False
+        )
+        try:
+            with handle:
+                save_trace_arrays(handle, *arrays)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        pass  # read-only cache dir: memo is an optimisation, not a need
+    return arrays
 
 
 def workload(

@@ -239,6 +239,21 @@ class MultiCoreChip:
             self.access(access)
         return self.stats
 
+    def run_arrays(self, addresses, kinds, instructions) -> ChipStats:
+        """Run a whole trace given as parallel arrays (the batched fast
+        path — bit-identical to :meth:`run`, see ``repro.kernels``)."""
+        from repro.kernels.batch import run_chip_arrays
+
+        return run_chip_arrays(self, addresses, kinds, instructions)
+
+    def run_filtered(self, record) -> ChipStats:
+        """Replay a precomputed L1-filter miss stream
+        (:class:`~repro.kernels.l1filter.L1FilterRecord`), skipping the
+        L1 stage; ``ChipStats`` match running the original trace."""
+        from repro.kernels.batch import run_chip_filtered
+
+        return run_chip_filtered(self, record)
+
     def update_bus_bytes(self) -> "dict[str, float]":
         """Update-bus traffic summary: measured store/fill bytes plus
         the analytic register/branch estimate of section 2.3."""

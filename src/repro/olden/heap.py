@@ -72,6 +72,17 @@ class RecordedTrace:
         for i in range(len(addresses)):
             yield Access(addresses[i], AccessKind(kinds[i]), instructions[i])
 
+    def arrays(self):
+        """``(addresses, kinds, instructions)`` numpy views of the
+        recording buffers, for the batched kernels."""
+        import numpy as np
+
+        return (
+            np.asarray(self._addresses, dtype=np.int64),
+            np.asarray(self._kinds, dtype=np.int8),
+            np.asarray(self._instructions, dtype=np.int64),
+        )
+
     def accesses_with_pointer_flags(self) -> "Iterator[tuple[Access, bool]]":
         """Yield ``(access, is_pointer_access)`` pairs.
 

@@ -49,6 +49,7 @@ class RuntimeConfig:
     use_cache: bool = True
     start_method: str = "fork" if os.name == "posix" else "spawn"
     poll_interval: float = 0.05  #: seconds between liveness/timeout checks
+    profile_dir: "str | None" = None  #: dump per-job cProfile stats here
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -120,10 +121,37 @@ def payloads(outcomes: "Sequence[JobOutcome]") -> "list[dict[str, object]]":
     return [o.payload for o in outcomes]  # type: ignore[misc]
 
 
-def _worker_main(job: Job, conn) -> None:
+def _execute(job: Job, profile_dir: "str | None"):
+    """Run one job, optionally under cProfile.
+
+    With ``profile_dir`` set, the job function runs inside a profiler
+    and the stats land in ``<profile_dir>/<label>-<hash12>.prof``
+    (loadable with ``python -m pstats`` or snakeviz).  The dump happens
+    even when the job raises — a slow *failing* job is exactly the one
+    worth profiling.
+    """
+    if profile_dir is None:
+        return execute_job(job)
+    import cProfile
+    import re
+    from pathlib import Path
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return execute_job(job)
+    finally:
+        profiler.disable()
+        safe = re.sub(r"[^A-Za-z0-9._-]+", "-", job.name) or "job"
+        path = Path(profile_dir) / f"{safe}-{job.hash[:12]}.prof"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(str(path))
+
+
+def _worker_main(job: Job, conn, profile_dir: "str | None" = None) -> None:
     """Worker-process entry: run the job, ship the result, exit."""
     try:
-        payload, duration = execute_job(job)
+        payload, duration = _execute(job, profile_dir)
         conn.send(("ok", payload, duration))
     except BaseException as exc:  # noqa: BLE001 - must cross the pipe
         try:
@@ -252,7 +280,7 @@ class ExperimentRuntime:
                 continue
             self._emit("started", job)
             try:
-                payload, duration = execute_job(job)
+                payload, duration = _execute(job, self.config.profile_dir)
             except KeyboardInterrupt:
                 interrupted_at = i
                 break
@@ -317,7 +345,9 @@ class ExperimentRuntime:
     def _launch(self, context, job: Job, index: int, attempt: int) -> _Running:
         receiver, sender = context.Pipe(duplex=False)
         process = context.Process(
-            target=_worker_main, args=(job, sender), daemon=True
+            target=_worker_main,
+            args=(job, sender, self.config.profile_dir),
+            daemon=True,
         )
         process.start()
         sender.close()  # parent keeps only the read end
@@ -423,11 +453,14 @@ def runtime_from_args(
     no_cache: bool = False,
     runlog: "str | None" = None,
     quiet: bool = False,
+    profile_dir: "str | None" = None,
 ) -> ExperimentRuntime:
     """Build a runtime from CLI-ish options (shared by both CLIs)."""
     from repro.runtime.events import JsonlSink
 
-    config = RuntimeConfig(jobs=jobs, timeout=timeout, retries=retries)
+    config = RuntimeConfig(
+        jobs=jobs, timeout=timeout, retries=retries, profile_dir=profile_dir
+    )
     if no_cache:
         config = replace(config, use_cache=False)
     sinks: "list[object]" = [] if quiet else [StderrSink()]

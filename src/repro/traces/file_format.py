@@ -34,12 +34,25 @@ def save_trace(path: "str | os.PathLike", accesses: Iterable[Access]) -> int:
         addresses.append(access.address)
         kinds.append(int(access.kind))
         instructions.append(access.instruction)
+    return save_trace_arrays(path, addresses, kinds, instructions)
+
+
+def save_trace_arrays(
+    path: "str | os.PathLike", addresses, kinds, instructions
+) -> int:
+    """Write a trace already held as parallel arrays; same format as
+    :func:`save_trace`, no per-access materialisation."""
+    addresses = np.asarray(addresses, dtype=np.int64)
+    kinds = np.asarray(kinds, dtype=np.int8)
+    instructions = np.asarray(instructions, dtype=np.int64)
+    if not len(addresses) == len(kinds) == len(instructions):
+        raise ValueError("trace arrays must have equal lengths")
     np.savez_compressed(
         path,
         version=np.int64(_FORMAT_VERSION),
-        addresses=np.asarray(addresses, dtype=np.int64),
-        kinds=np.asarray(kinds, dtype=np.int8),
-        instructions=np.asarray(instructions, dtype=np.int64),
+        addresses=addresses,
+        kinds=kinds,
+        instructions=instructions,
     )
     return len(addresses)
 
@@ -80,6 +93,14 @@ class FileTrace:
                 AccessKind(int(kinds[i])),
                 int(instructions[i]),
             )
+
+    def arrays(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """``(addresses, kinds, instructions)`` for the batched kernels."""
+        return (
+            np.asarray(self._addresses, dtype=np.int64),
+            np.asarray(self._kinds, dtype=np.int8),
+            np.asarray(self._instructions, dtype=np.int64),
+        )
 
 
 def load_trace(path: "str | os.PathLike") -> FileTrace:

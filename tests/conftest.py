@@ -1,0 +1,25 @@
+"""Shared test fixtures."""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_cache_root(tmp_path_factory):
+    """Point the default result cache at a session-temporary directory.
+
+    Keeps the suite hermetic: experiment jobs (and their L1-filter /
+    trace-memo sidecars) never write ``.repro-cache/`` into the working
+    tree, while tests within one session still share warm artifacts.
+    Tests that need a private root monkeypatch ``REPRO_CACHE_DIR`` on
+    top of this.
+    """
+    root = tmp_path_factory.mktemp("repro-cache")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old

@@ -56,3 +56,39 @@ class TestCli:
         ) == 1
         err = capsys.readouterr().err
         assert "FAILED" in err
+
+    def test_profile_flag_dumps_per_job_stats(self, capsys, tmp_path):
+        import pstats
+
+        runlog = tmp_path / "events.jsonl"
+        assert main(
+            [
+                "--only", "table2",
+                "--workloads", "bisort",
+                "--scale", "0.05",
+                "--no-cache", "--quiet",
+                "--runlog", str(runlog),
+                "--profile",
+            ]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "[profile]" in err
+        dumps = list((tmp_path / "profiles").glob("table2-bisort-*.prof"))
+        assert len(dumps) == 1
+        # the dump is a loadable cProfile stats file
+        stats = pstats.Stats(str(dumps[0]))
+        assert stats.total_calls > 0
+
+    def test_profile_with_obs_dir(self, capsys, tmp_path):
+        obs = tmp_path / "obs"
+        assert main(
+            [
+                "--only", "table2",
+                "--workloads", "bisort",
+                "--scale", "0.05",
+                "--no-cache", "--quiet",
+                "--obs", str(obs),
+                "--profile",
+            ]
+        ) == 0
+        assert list((obs / "profiles").glob("*.prof"))

@@ -1,0 +1,60 @@
+"""Array helpers: vectorised skew hashing and trace conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.caches.skewed import skew_hash
+from repro.kernels.arrays import (
+    as_trace_arrays,
+    skew_slot_matrix,
+    trace_to_arrays,
+)
+from tests.kernels.helpers import make_trace
+
+
+class TestSkewSlotMatrix:
+    @given(
+        lines=st.lists(st.integers(0, 2**48), max_size=64),
+        sets_bits=st.integers(0, 12),
+        ways=st.integers(1, 6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_scalar_skew_hash(self, lines, sets_bits, ways):
+        num_sets = 1 << sets_bits
+        index_bits = num_sets.bit_length() - 1
+        matrix = skew_slot_matrix(lines, num_sets, ways)
+        assert matrix.shape == (len(lines), ways)
+        for i, line in enumerate(lines):
+            for way in range(ways):
+                expected = way * num_sets + skew_hash(line, way, index_bits)
+                assert matrix[i, way] == expected
+
+    def test_paper_geometry(self):
+        # The section 4.2 L2: 2048 sets x 4 ways.
+        lines = list(range(0, 100_000, 997))
+        matrix = skew_slot_matrix(lines, 2048, 4)
+        for i, line in enumerate(lines):
+            for way in range(4):
+                assert matrix[i, way] == way * 2048 + skew_hash(line, way, 11)
+
+
+class TestTraceArrays:
+    def test_round_trip(self):
+        accesses, arrays = make_trace([(3, 0, 2), (5, 1, 0), (3, 2, 3)])
+        addresses, kinds, instructions = trace_to_arrays(accesses)
+        assert addresses.tolist() == arrays[0].tolist()
+        assert kinds.tolist() == arrays[1].tolist()
+        assert instructions.tolist() == arrays[2].tolist()
+
+    def test_as_trace_arrays_validates_lengths(self):
+        with pytest.raises(ValueError):
+            as_trace_arrays([1, 2, 3], [0, 1], [0, 1, 2])
+
+    def test_as_trace_arrays_coerces_dtypes(self):
+        addresses, kinds, instructions = as_trace_arrays(
+            [64, 128], [0, 2], [0, 3]
+        )
+        assert addresses.dtype == np.int64
+        assert kinds.dtype == np.int8
+        assert instructions.dtype == np.int64
