@@ -5,6 +5,7 @@ Options::
     python -m repro.experiments.run_all --scale 0.5 --only table2
     python -m repro.experiments.run_all --workloads 179.art 181.mcf
     python -m repro.experiments.run_all --jobs 4 --seed 7 --runlog run.jsonl
+    python -m repro.experiments.run_all --server http://127.0.0.1:8321
 
 Every experiment fans its workloads out as jobs through
 :mod:`repro.runtime`: ``--jobs N`` runs them over N worker processes,
@@ -165,9 +166,22 @@ def main(argv: "list[str] | None" = None) -> int:
         help="dump a cProfile .prof per executed job into the --obs "
         "directory (or next to the --runlog, or ./profiles)",
     )
+    parser.add_argument(
+        "--server",
+        default=None,
+        metavar="URL",
+        help="submit jobs to a running repro.service instance at URL "
+        "instead of forking local workers (shares its queue, dedup, "
+        "and result cache with every other client)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.server and (args.obs or args.profile):
+        parser.error(
+            "--server executes on the remote service; --obs/--profile "
+            "instrument local workers and cannot be combined with it"
+        )
     selected = args.only or list(_EXPERIMENTS)
     profile_dir = None
     if args.profile:
@@ -179,15 +193,24 @@ def main(argv: "list[str] | None" = None) -> int:
             profile_dir = str(Path(args.runlog).parent / "profiles")
         else:
             profile_dir = "profiles"
-    runtime = runtime_from_args(
-        jobs=args.jobs,
-        timeout=args.timeout,
-        cache_dir=args.cache_dir,
-        no_cache=args.no_cache,
-        runlog=args.runlog,
-        quiet=args.quiet,
-        profile_dir=profile_dir,
-    )
+    if args.server:
+        from repro.runtime.events import EventBus, JsonlSink, StderrSink
+        from repro.service.client import RemoteRuntime, ServiceClient
+
+        sinks: "list[object]" = [] if args.quiet else [StderrSink()]
+        if args.runlog:
+            sinks.append(JsonlSink(args.runlog))
+        runtime = RemoteRuntime(ServiceClient(args.server), bus=EventBus(sinks))
+    else:
+        runtime = runtime_from_args(
+            jobs=args.jobs,
+            timeout=args.timeout,
+            cache_dir=args.cache_dir,
+            no_cache=args.no_cache,
+            runlog=args.runlog,
+            quiet=args.quiet,
+            profile_dir=profile_dir,
+        )
     if args.obs:
         from pathlib import Path
 

@@ -110,7 +110,15 @@ class ResultCache:
         payload: "dict[str, object]",
         duration: "float | None" = None,
     ) -> Path:
-        """Atomically persist one finished job's payload."""
+        """Atomically publish one finished job's payload.
+
+        Safe under concurrent multi-process writers: each writer stages
+        into its own uniquely named ``.tmp-`` file (fsynced, so a
+        crashed host cannot publish a torn artifact) and ``os.replace``
+        makes the artifact visible in one atomic step — readers see
+        either nothing or a complete file, and the last writer of the
+        same hash wins with byte-identical content.
+        """
         path = self.path_for(job)
         path.parent.mkdir(parents=True, exist_ok=True)
         artifact = {
@@ -135,6 +143,8 @@ class ResultCache:
         try:
             with handle:
                 handle.write(body)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(handle.name, path)
         except BaseException:
             try:
@@ -196,3 +206,57 @@ class ResultCache:
             removed += sum(1 for _ in generation.glob("*.json"))
             shutil.rmtree(generation)
         return removed
+
+    def prune(self, older_than_days: float) -> int:
+        """Retention for long-running services: delete artifacts whose
+        mtime is older than ``older_than_days`` days (any generation),
+        plus staging leftovers (``.tmp-*`` from crashed writers) older
+        than an hour; empty generation directories are removed.
+
+        Age is judged by file mtime — the moment the artifact was
+        published — so a live writer racing the pruner never loses a
+        fresh result.  Returns the number of artifacts removed
+        (staging leftovers are not counted).
+        """
+        if older_than_days < 0:
+            raise ValueError(
+                f"older_than_days must be >= 0, got {older_than_days}"
+            )
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        now = time.time()
+        cutoff = now - older_than_days * 86400.0
+        for generation in sorted(self.root.iterdir()):
+            if not generation.is_dir():
+                continue
+            for path in generation.glob("*.json"):
+                try:
+                    mtime = path.stat().st_mtime
+                except OSError:
+                    continue  # concurrently pruned or published
+                if path.name.startswith(".tmp-"):
+                    if mtime < now - 3600.0:
+                        _unlink_quietly(path)
+                    continue
+                if mtime < cutoff:
+                    if _unlink_quietly(path):
+                        removed += 1
+            try:
+                next(generation.iterdir())
+            except StopIteration:
+                try:
+                    generation.rmdir()
+                except OSError:
+                    pass  # a writer re-populated it; leave it
+            except OSError:
+                pass
+        return removed
+
+
+def _unlink_quietly(path: Path) -> bool:
+    try:
+        path.unlink()
+        return True
+    except OSError:
+        return False

@@ -4,7 +4,7 @@ Subcommands::
 
     python -m repro.runtime run --jobs 4 --scale 0.5 --only table2
     python -m repro.runtime status
-    python -m repro.runtime clear-cache [--stale-only]
+    python -m repro.runtime clear-cache [--stale-only | --older-than DAYS]
 
 ``run`` is the same driver as ``python -m repro.experiments.run_all``
 (every flag is forwarded); it lives here too so the runtime package is
@@ -50,6 +50,13 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
 def _cmd_clear_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(root=args.cache_dir)
+    if args.older_than is not None:
+        removed = cache.prune(older_than_days=args.older_than)
+        print(
+            f"removed {removed} artifacts older than "
+            f"{args.older_than:g} days from {cache.root}"
+        )
+        return 0
     removed = cache.clear(stale_only=args.stale_only)
     what = "stale artifacts" if args.stale_only else "artifacts"
     print(f"removed {removed} {what} from {cache.root}")
@@ -88,6 +95,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--stale-only",
         action="store_true",
         help="only remove artifacts from older code versions",
+    )
+    clear.add_argument(
+        "--older-than",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="retention mode: only remove artifacts (any code version) "
+        "older than DAYS days, plus stale .tmp- staging files — the "
+        "flag a long-running service's cron uses to bound .repro-cache",
     )
     clear.set_defaults(handler=_cmd_clear_cache)
     return parser

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import sys
+import threading
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -59,6 +60,13 @@ class JobEvent:
         if not self.references or not self.duration:
             return None
         return self.references / self.duration
+
+
+def event_record(event: JobEvent) -> "dict[str, object]":
+    """One event's JSONL wire shape (run logs, the service's streams)."""
+    record = asdict(event)
+    record["refs_per_sec"] = event.refs_per_sec
+    return record
 
 
 class StderrSink:
@@ -114,9 +122,7 @@ class JsonlSink:
     def emit(self, event: JobEvent) -> None:
         if self._handle is None:
             self._handle = self.path.open("a", encoding="utf-8")
-        record = asdict(event)
-        record["refs_per_sec"] = event.refs_per_sec
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.write(json.dumps(event_record(event), sort_keys=True) + "\n")
         self._handle.flush()
 
     def close(self) -> None:
@@ -141,35 +147,46 @@ class MemorySink:
 
 class EventBus:
     """Fan one event stream out to several sinks; never let a sink
-    failure kill the run (a full disk should not abort a simulation)."""
+    failure kill the run (a full disk should not abort a simulation).
+
+    Emission is serialised under a lock so one bus can be shared by
+    concurrent ``ExperimentRuntime.map`` calls (the service front end
+    submits from several threads): sink lines never interleave and a
+    JSONL run log stays one valid record per line.
+    """
 
     def __init__(self, sinks: "Iterable[object]" = ()) -> None:
         self.sinks = list(sinks)
+        self._lock = threading.Lock()
 
     def add(self, sink: object) -> None:
-        self.sinks.append(sink)
+        with self._lock:
+            self.sinks.append(sink)
 
     def emit(self, event: JobEvent) -> None:
-        for sink in self.sinks:
-            try:
-                sink.emit(event)
-            except Exception as exc:  # noqa: BLE001 - diagnostics only
-                print(
-                    f"[runtime] event sink {type(sink).__name__} failed: {exc}",
-                    file=sys.stderr,
-                )
+        with self._lock:
+            for sink in self.sinks:
+                try:
+                    sink.emit(event)
+                except Exception as exc:  # noqa: BLE001 - diagnostics only
+                    print(
+                        f"[runtime] event sink {type(sink).__name__} "
+                        f"failed: {exc}",
+                        file=sys.stderr,
+                    )
 
     def close(self) -> None:
         """Close every sink that supports it (same isolation as emit)."""
-        for sink in self.sinks:
-            close = getattr(sink, "close", None)
-            if close is None:
-                continue
-            try:
-                close()
-            except Exception as exc:  # noqa: BLE001 - diagnostics only
-                print(
-                    f"[runtime] event sink {type(sink).__name__} "
-                    f"failed to close: {exc}",
-                    file=sys.stderr,
-                )
+        with self._lock:
+            for sink in self.sinks:
+                close = getattr(sink, "close", None)
+                if close is None:
+                    continue
+                try:
+                    close()
+                except Exception as exc:  # noqa: BLE001 - diagnostics only
+                    print(
+                        f"[runtime] event sink {type(sink).__name__} "
+                        f"failed to close: {exc}",
+                        file=sys.stderr,
+                    )

@@ -19,6 +19,7 @@ from __future__ import annotations
 import hashlib
 import importlib
 import json
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
@@ -31,11 +32,46 @@ class JobError(RuntimeError):
     """A job function raised, timed out, or its worker died."""
 
 
+def _first_nonfinite(value: object, path: str = "$") -> "tuple[str, float] | None":
+    """Locate the first NaN/Infinity in a JSON-ish value, depth-first."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return path, value
+    if isinstance(value, dict):
+        for key, item in value.items():
+            found = _first_nonfinite(item, f"{path}.{key}")
+            if found is not None:
+                return found
+    elif isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            found = _first_nonfinite(item, f"{path}[{i}]")
+            if found is not None:
+                return found
+    return None
+
+
 def canonical_json(value: object) -> str:
-    """Canonical JSON: sorted keys, no whitespace, no NaN surprises."""
-    return json.dumps(
-        value, sort_keys=True, separators=(",", ":"), allow_nan=False
-    )
+    """Canonical JSON: sorted keys, no whitespace, no NaN surprises.
+
+    NaN/Infinity are rejected outright (with the offending path named)
+    rather than serialised as the non-standard ``NaN``/``Infinity``
+    tokens: those tokens are not JSON, so different clients would
+    encode them differently and two "identical" submissions could hash
+    apart — job identity must be portable across every producer.
+    """
+    try:
+        return json.dumps(
+            value, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except ValueError as exc:
+        found = _first_nonfinite(value)
+        if found is not None:
+            path, bad = found
+            raise ValueError(
+                f"non-finite float {bad!r} at {path}: NaN/Infinity are "
+                "not portable JSON and are rejected in job params and "
+                "payloads"
+            ) from exc
+        raise
 
 
 @dataclass(frozen=True)
@@ -57,6 +93,10 @@ class Job:
             raise ValueError(
                 f"job fn must be 'module:function', got {fn!r}"
             )
+        # Validate eagerly so a NaN/Infinity (or unserialisable) param
+        # fails at submission with a clear message, not later inside
+        # ``.hash`` deep in the scheduler or a service worker.
+        canonical_json(dict(params))
         return cls(fn=fn, params=tuple(sorted(params.items())), label=label)
 
     @property

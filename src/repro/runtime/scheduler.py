@@ -19,6 +19,13 @@ Execution model:
 * Ctrl-C drains gracefully: running workers are terminated, completed
   jobs keep their cache artifacts, and unfinished jobs are reported as
   ``interrupted`` — re-running the same job set resumes from the cache.
+
+Long-running front ends (``repro.service``) submit through the same
+entry point: ``map``/``run_one`` accept a ``cancel`` callable polled
+between poll rounds, so a drain request stops launching work and
+interrupts what is running without losing finished artifacts, and one
+runtime instance accepts concurrent ``map`` calls from several threads
+(aggregate stats are lock-guarded; each call manages its own workers).
 """
 
 from __future__ import annotations
@@ -26,10 +33,11 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.connection
 import os
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.runtime.cache import ResultCache
 from repro.runtime.events import EventBus, JobEvent, StderrSink
@@ -184,13 +192,27 @@ class ExperimentRuntime:
         self.cache = cache if cache is not None else ResultCache()
         self.bus = bus if bus is not None else EventBus([StderrSink()])
         self.stats = RunStats()
+        self._stats_lock = threading.Lock()
 
     # -- public API -----------------------------------------------------
 
-    def map(self, jobs: "Sequence[Job]") -> "list[JobOutcome]":
-        """Run every job; outcomes align with the input order."""
+    def map(
+        self,
+        jobs: "Sequence[Job]",
+        cancel: "Callable[[], bool] | None" = None,
+    ) -> "list[JobOutcome]":
+        """Run every job; outcomes align with the input order.
+
+        ``cancel`` is polled between jobs (serial mode) or poll rounds
+        (parallel mode); once it returns true, no further work is
+        launched, running workers are terminated, and every unfinished
+        job is reported ``interrupted`` — exactly the Ctrl-C drain, but
+        triggered programmatically (a service draining on SIGTERM sets
+        a ``threading.Event`` and passes its ``is_set``).
+        """
         jobs = list(jobs)
-        self.stats.submitted += len(jobs)
+        with self._stats_lock:
+            self.stats.submitted += len(jobs)
         start = time.monotonic()
         for job in jobs:
             self._emit("queued", job)
@@ -199,17 +221,21 @@ class ExperimentRuntime:
             # jobs>1 always isolates in workers — even a single job —
             # so crash containment and timeouts hold uniformly.
             if self.config.jobs <= 1:
-                outcomes = self._run_serial(jobs)
+                outcomes = self._run_serial(jobs, cancel)
             else:
-                outcomes = self._run_parallel(jobs)
+                outcomes = self._run_parallel(jobs, cancel)
         finally:
-            self.stats.wall_time += time.monotonic() - start
-        for outcome in outcomes:
-            self.stats.absorb(outcome)
+            with self._stats_lock:
+                self.stats.wall_time += time.monotonic() - start
+        with self._stats_lock:
+            for outcome in outcomes:
+                self.stats.absorb(outcome)
         return outcomes
 
-    def run_one(self, job: Job) -> JobOutcome:
-        return self.map([job])[0]
+    def run_one(
+        self, job: Job, cancel: "Callable[[], bool] | None" = None
+    ) -> JobOutcome:
+        return self.map([job], cancel=cancel)[0]
 
     def close(self) -> None:
         """Flush and close every event sink (idempotent; sinks re-open
@@ -270,10 +296,17 @@ class ExperimentRuntime:
 
     # -- serial mode ----------------------------------------------------
 
-    def _run_serial(self, jobs: "Sequence[Job]") -> "list[JobOutcome]":
+    def _run_serial(
+        self,
+        jobs: "Sequence[Job]",
+        cancel: "Callable[[], bool] | None" = None,
+    ) -> "list[JobOutcome]":
         outcomes: "list[JobOutcome]" = []
         interrupted_at: "int | None" = None
         for i, job in enumerate(jobs):
+            if cancel is not None and cancel():
+                interrupted_at = i
+                break
             cached = self._cached_outcome(job)
             if cached is not None:
                 outcomes.append(cached)
@@ -299,7 +332,11 @@ class ExperimentRuntime:
 
     # -- parallel mode --------------------------------------------------
 
-    def _run_parallel(self, jobs: "Sequence[Job]") -> "list[JobOutcome]":
+    def _run_parallel(
+        self,
+        jobs: "Sequence[Job]",
+        cancel: "Callable[[], bool] | None" = None,
+    ) -> "list[JobOutcome]":
         context = multiprocessing.get_context(self.config.start_method)
         outcomes: "list[JobOutcome | None]" = [None] * len(jobs)
         pending: "deque[tuple[int, int]]" = deque()  # (index, attempt)
@@ -312,6 +349,9 @@ class ExperimentRuntime:
         running: "list[_Running]" = []
         try:
             while pending or running:
+                if cancel is not None and cancel():
+                    self._drain_interrupted(jobs, outcomes, pending, running)
+                    break
                 while pending and len(running) < self.config.jobs:
                     index, attempt = pending.popleft()
                     running.append(
@@ -319,28 +359,41 @@ class ExperimentRuntime:
                     )
                 self._collect(jobs, outcomes, pending, running)
         except KeyboardInterrupt:
-            self._terminate_all(running)
-            for slot in running:
-                self._emit("interrupted", jobs[slot.index])
-                outcomes[slot.index] = JobOutcome(
-                    job=jobs[slot.index],
-                    status=INTERRUPTED,
-                    attempts=slot.attempt,
-                )
-            for index, attempt in pending:
-                self._emit("interrupted", jobs[index])
-                outcomes[index] = JobOutcome(
-                    job=jobs[index], status=INTERRUPTED, attempts=attempt
-                )
-            # The run is over: make sure the interrupted events (and
-            # everything before them) are on disk, not in a buffer.
-            self.bus.close()
+            self._drain_interrupted(jobs, outcomes, pending, running)
         return [
             outcome
             if outcome is not None
             else JobOutcome(job=job, status=INTERRUPTED)
             for job, outcome in zip(jobs, outcomes)
         ]
+
+    def _drain_interrupted(
+        self,
+        jobs: "Sequence[Job]",
+        outcomes: "list[JobOutcome | None]",
+        pending: "deque[tuple[int, int]]",
+        running: "list[_Running]",
+    ) -> None:
+        """Terminate live workers and mark everything unfinished
+        ``interrupted`` (shared by Ctrl-C and the ``cancel`` hook)."""
+        self._terminate_all(running)
+        for slot in running:
+            self._emit("interrupted", jobs[slot.index])
+            outcomes[slot.index] = JobOutcome(
+                job=jobs[slot.index],
+                status=INTERRUPTED,
+                attempts=slot.attempt,
+            )
+        for index, attempt in pending:
+            self._emit("interrupted", jobs[index])
+            outcomes[index] = JobOutcome(
+                job=jobs[index], status=INTERRUPTED, attempts=attempt
+            )
+        running.clear()
+        pending.clear()
+        # The run is over: make sure the interrupted events (and
+        # everything before them) are on disk, not in a buffer.
+        self.bus.close()
 
     def _launch(self, context, job: Job, index: int, attempt: int) -> _Running:
         receiver, sender = context.Pipe(duplex=False)
@@ -409,7 +462,8 @@ class ExperimentRuntime:
         if message is None:
             exit_code = slot.process.exitcode
             if slot.attempt <= self.config.retries:
-                self.stats.crash_retries += 1
+                with self._stats_lock:
+                    self.stats.crash_retries += 1
                 self._emit(
                     "retried",
                     job,

@@ -1,0 +1,52 @@
+"""repro.service — simulation as a service.
+
+The runtime made sweeps cheap (content-hashed jobs, worker pool,
+shared result cache); this package makes them *shared*.  A persistent
+HTTP+JSON front end accepts job and sweep submissions from any number
+of clients, dedups identical submissions onto one execution via the
+job content hash, answers repeats straight from the multi-tenant
+result cache without touching the pool, applies bounded backpressure
+(429 + Retry-After) when the queue fills, streams per-job progress as
+JSONL, and drains gracefully on SIGTERM.
+
+* :mod:`repro.service.config` — :class:`ServiceConfig`, every knob;
+* :mod:`repro.service.records` — per-hash lifecycle records and event
+  histories;
+* :mod:`repro.service.broker` — admission/dedup/backpressure, worker
+  slots over :class:`~repro.runtime.scheduler.ExperimentRuntime`,
+  graceful drain;
+* :mod:`repro.service.bridge` — marshals scheduler bus events onto
+  the loop;
+* :mod:`repro.service.metrics` — service counters/gauges/histograms
+  on the :mod:`repro.obs` registry;
+* :mod:`repro.service.server` — the ``asyncio.start_server`` HTTP
+  layer (``POST /jobs``, ``POST /sweeps``, ``GET /jobs/<hash>``,
+  ``GET /jobs/<hash>/events``, ``GET /status``);
+* :mod:`repro.service.client` — stdlib client +
+  :class:`~repro.service.client.RemoteRuntime`, the facade behind
+  ``run_all --server URL``.
+
+Command line: ``python -m repro.service {serve,submit,sweep,status}``.
+"""
+
+from repro.service.broker import BackpressureError, DrainingError, JobBroker
+from repro.service.client import RemoteRuntime, ServiceClient, ServiceError
+from repro.service.config import ServiceConfig
+from repro.service.metrics import ServiceMetrics
+from repro.service.records import JobRecord, Submission
+from repro.service.server import ServiceServer, run_service
+
+__all__ = [
+    "BackpressureError",
+    "DrainingError",
+    "JobBroker",
+    "JobRecord",
+    "RemoteRuntime",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceServer",
+    "Submission",
+    "run_service",
+]

@@ -1,0 +1,54 @@
+"""Thread boundary between the runtime's event bus and the broker.
+
+Jobs execute on executor threads (each driving ``runtime.run_one``),
+so the scheduler's :class:`~repro.runtime.events.JobEvent` stream is
+emitted *off* the event loop.  :class:`LoopSink` is a normal bus sink
+that marshals every event onto the loop with
+``call_soon_threadsafe`` — the broker then updates records and fans
+out to streaming connections without any locking, because all record
+mutation stays on the loop thread.
+
+Ordering is preserved end to end: the bus serialises emission, the
+loop runs callbacks in scheduling order, and a job's terminal bus
+event is always scheduled before its ``run_in_executor`` future
+resolves — so a record's history is complete before waiters wake.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable
+
+from repro.runtime.events import JobEvent, event_record
+
+
+class LoopSink:
+    """Runtime event sink that forwards into an asyncio loop."""
+
+    def __init__(
+        self,
+        loop: "asyncio.AbstractEventLoop",
+        callback: "Callable[[JobEvent], None]",
+    ) -> None:
+        self._loop = loop
+        self._callback = callback
+        self._closed = False
+
+    def emit(self, event: JobEvent) -> None:
+        if self._closed:
+            return
+        try:
+            self._loop.call_soon_threadsafe(self._callback, event)
+        except RuntimeError:
+            # The loop is gone (shutdown race); late events are only
+            # progress decoration at that point, never results.
+            self._closed = True
+
+    def close(self) -> None:
+        # Deliberately not marking closed here: the runtime closes its
+        # bus on every drain, but the broker may keep executing; the
+        # sink only dies with the loop.
+        pass
+
+
+__all__ = ["LoopSink", "event_record"]

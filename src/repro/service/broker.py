@@ -1,0 +1,419 @@
+"""The job broker: admission, dedup, backpressure, execution, drain.
+
+This is the service's core loop, sitting between the HTTP front end
+and the :class:`~repro.runtime.scheduler.ExperimentRuntime`:
+
+* **Admission** (:meth:`JobBroker.submit`) classifies every submission
+  by the job's content hash: a hash already in flight *attaches* (N
+  identical submissions share one execution and all see the same
+  payload), a hash with a finished record or a result-cache artifact is
+  a *cache hit* served without touching the pool, and a cold hash is
+  *enqueued* — or bounced with :class:`BackpressureError` when the
+  bounded queue is full (the HTTP layer turns that into
+  ``429 Retry-After``).
+* **Execution**: ``workers`` slot coroutines pull records off the
+  queue and drive ``runtime.run_one`` on executor threads; with
+  ``isolate`` each job gets its own spawned worker process (crash
+  containment and per-job timeouts, exactly as in batch mode), without
+  it jobs run in-thread (fast, for tests and trusted embeddings).
+  Scheduler events flow back over the bus through
+  :class:`~repro.service.bridge.LoopSink` onto the loop, updating each
+  record's streamable history.
+* **Drain** (:meth:`JobBroker.drain`): stop admitting, cancel
+  queued-but-unstarted records, give running jobs ``drain_grace``
+  seconds to finish, then trip the scheduler's ``cancel`` hook so
+  stragglers are interrupted (their finished siblings' cache artifacts
+  survive — resubmission after restart resumes from the cache), and
+  finally flush every event sink.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.events import EventBus, JobEvent, JsonlSink, StderrSink, event_record
+from repro.runtime.job import Job
+from repro.runtime.scheduler import (
+    CACHED,
+    FAILED as OUTCOME_FAILED,
+    OK,
+    ExperimentRuntime,
+    JobOutcome,
+    RuntimeConfig,
+)
+from repro.service.bridge import LoopSink
+from repro.service.config import ServiceConfig
+from repro.service.metrics import ServiceMetrics
+from repro.service.records import (
+    ATTACHED,
+    CACHE_HIT,
+    CANCELLED,
+    FINISHED,
+    FAILED,
+    RUNNING,
+    SUBMITTED,
+    JobRecord,
+    Submission,
+    service_event,
+)
+
+
+class BackpressureError(Exception):
+    """The submission queue is full; retry after ``retry_after``s."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(
+            f"submission queue full, retry after {retry_after:g}s"
+        )
+        self.retry_after = retry_after
+
+
+class DrainingError(Exception):
+    """The service is draining and no longer accepts submissions."""
+
+
+def runtime_for_service(config: ServiceConfig) -> ExperimentRuntime:
+    """The broker's runtime: spawned worker processes when isolating
+    (``fork`` is unsafe under the service's thread pool), in-process
+    execution otherwise; sinks per the service flags."""
+    runtime_config = RuntimeConfig(
+        jobs=2 if config.isolate else 1,
+        timeout=config.timeout,
+        retries=config.retries,
+        use_cache=config.use_cache,
+        start_method="spawn" if config.isolate else RuntimeConfig().start_method,
+    )
+    sinks: "list[object]" = [] if config.quiet else [StderrSink()]
+    if config.runlog:
+        sinks.append(JsonlSink(config.runlog))
+    if config.obs_dir:
+        from repro.obs.bridge import ObsRunlogSink
+
+        sinks.append(
+            ObsRunlogSink(Path(config.obs_dir) / "service-runtime.jsonl")
+        )
+    cache = (
+        ResultCache(root=config.cache_dir) if config.cache_dir else ResultCache()
+    )
+    return ExperimentRuntime(
+        config=runtime_config, cache=cache, bus=EventBus(sinks)
+    )
+
+
+class JobBroker:
+    """Admission + execution + lifecycle state for one service."""
+
+    def __init__(
+        self,
+        config: "ServiceConfig | None" = None,
+        runtime: "ExperimentRuntime | None" = None,
+        metrics: "ServiceMetrics | None" = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.runtime = runtime or runtime_for_service(self.config)
+        self.metrics = metrics or ServiceMetrics()
+        self._records: "OrderedDict[str, JobRecord]" = OrderedDict()
+        self._queue: "asyncio.Queue[JobRecord] | None" = None
+        self._slots: "list[asyncio.Task]" = []
+        self._executor: "ThreadPoolExecutor | None" = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._cancel = threading.Event()
+        self._draining = False
+        self._inflight = 0
+        self.started_at: "float | None" = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind to the running loop and spawn the worker slots."""
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.config.queue_capacity)
+        self.runtime.bus.add(LoopSink(self._loop, self._on_job_event))
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-service",
+        )
+        self._slots = [
+            self._loop.create_task(self._slot(), name=f"service-slot-{i}")
+            for i in range(self.config.workers)
+        ]
+        self.started_at = time.time()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- admission ------------------------------------------------------
+
+    def submit(self, job: Job, tenant: str = "anon") -> Submission:
+        """Admit one submission; must be called on the loop thread.
+
+        Raises :class:`DrainingError` after drain began and
+        :class:`BackpressureError` when the queue is full.  Never
+        blocks: cache hits answer from the record table or one small
+        artifact read, everything else lands on the queue.
+        """
+        if self._draining:
+            raise DrainingError("service is draining")
+        record = self._records.get(job.hash)
+        if record is not None and not record.terminal:
+            # In flight: attach.  This submission shares the one
+            # execution and its event stream; no new pool work.
+            record.note_submission(tenant)
+            self.metrics.submission(tenant, ATTACHED)
+            return Submission(record, ATTACHED)
+        if record is not None and record.state == FINISHED:
+            # Finished this process's lifetime: memory front of the
+            # shared cache.
+            record.note_submission(tenant)
+            self._records.move_to_end(job.hash)
+            self.metrics.submission(tenant, CACHE_HIT)
+            return Submission(record, CACHE_HIT)
+        # failed/cancelled terminal records fall through: resubmission
+        # is an explicit request to try again.
+        if self.config.use_cache:
+            payload = self.runtime.cache.get(job)
+            if payload is not None:
+                record = JobRecord(job, tenant)
+                record.add_event(service_event("cache-hit", job))
+                record.finish(
+                    FINISHED, JobOutcome(job=job, status=CACHED, payload=payload)
+                )
+                self._store(record)
+                self.metrics.submission(tenant, CACHE_HIT)
+                return Submission(record, CACHE_HIT)
+        assert self._queue is not None, "broker not started"
+        if self._queue.full():
+            self.metrics.rejected(tenant)
+            raise BackpressureError(retry_after=self.config.retry_after)
+        record = JobRecord(job, tenant)
+        record.add_event(service_event("queued", job))
+        self._store(record)
+        self._queue.put_nowait(record)
+        self.metrics.submission(tenant, SUBMITTED)
+        self._update_depth()
+        return Submission(record, SUBMITTED)
+
+    def get(self, job_hash: str) -> "JobRecord | None":
+        return self._records.get(job_hash)
+
+    def _store(self, record: JobRecord) -> None:
+        self._records[record.job.hash] = record
+        self._records.move_to_end(record.job.hash)
+        # Bound memory: evict the oldest *terminal* records beyond the
+        # cap (live ones are load, not cache — never evicted).  Their
+        # payloads remain served from the on-disk cache.
+        excess = len(self._records) - self.config.max_records
+        if excess > 0:
+            stale = [
+                h
+                for h, r in self._records.items()
+                if r.terminal
+            ][:excess]
+            for job_hash in stale:
+                del self._records[job_hash]
+
+    # -- execution ------------------------------------------------------
+
+    async def _slot(self) -> None:
+        """One worker slot: pull, execute, finish — until drained."""
+        assert self._queue is not None and self._loop is not None
+        while True:
+            try:
+                record = await asyncio.wait_for(self._queue.get(), timeout=0.25)
+            except asyncio.TimeoutError:
+                if self._draining:
+                    return
+                continue
+            self._update_depth()
+            if record.terminal:
+                continue  # cancelled while queued
+            record.state = RUNNING
+            self._inflight += 1
+            self._update_depth()
+            try:
+                outcome = await self._loop.run_in_executor(
+                    self._executor, self._run, record.job
+                )
+            except Exception as exc:  # noqa: BLE001 - slot must survive
+                error = f"{type(exc).__name__}: {exc}"
+                record.add_event(service_event("failed", record.job, error=error))
+                outcome = JobOutcome(
+                    job=record.job, status=OUTCOME_FAILED, error=error
+                )
+            finally:
+                self._inflight -= 1
+                self._update_depth()
+            self._finish(record, outcome)
+            if self._draining and self._queue.empty():
+                return
+
+    def _run(self, job: Job) -> JobOutcome:
+        """Executor-thread body: one job through the shared runtime."""
+        return self.runtime.run_one(job, cancel=self._cancel.is_set)
+
+    def _finish(self, record: JobRecord, outcome: JobOutcome) -> None:
+        now = time.time()
+        if outcome.status in (OK, CACHED):
+            state = FINISHED
+        elif outcome.status == OUTCOME_FAILED:
+            state = FAILED
+        else:
+            state = CANCELLED  # interrupted by the drain cancel hook
+        record.finish(state, outcome, now)
+        run_s = now - (record.started_at or record.submitted_at)
+        self.metrics.finished(state, run_s, now - record.submitted_at)
+
+    def _on_job_event(self, event: JobEvent) -> None:
+        """Bus event marshalled onto the loop: extend the record's
+        streamable history (the broker's own ``queued`` stands in for
+        the scheduler's)."""
+        record = self._records.get(event.job_hash)
+        if record is None or event.event == "queued":
+            return
+        if event.event == "started" and record.started_at is None:
+            record.started_at = event.timestamp
+            self.metrics.started(record.started_at - record.submitted_at)
+        record.add_event(event_record(event))
+
+    def _update_depth(self) -> None:
+        queue = self._queue
+        self.metrics.set_depth(
+            queue.qsize() if queue is not None else 0, self._inflight
+        )
+
+    # -- drain ----------------------------------------------------------
+
+    async def drain(self, grace: "float | None" = None) -> None:
+        """Graceful shutdown: see the module docstring for semantics."""
+        if self._draining:
+            return
+        self._draining = True
+        grace = self.config.drain_grace if grace is None else grace
+        assert self._queue is not None and self._loop is not None
+        while True:
+            try:
+                record = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if record.terminal:
+                continue
+            record.add_event(service_event("cancelled", record.job))
+            record.finish(CANCELLED)
+            self.metrics.finished(
+                CANCELLED, 0.0, time.time() - record.submitted_at
+            )
+        self._update_depth()
+        if self._slots:
+            _done, pending = await asyncio.wait(self._slots, timeout=grace)
+            if pending:
+                # Grace expired: interrupt running scheduler work.  The
+                # cancel hook is polled every poll_interval, so give the
+                # slots a short, bounded second window.
+                self._cancel.set()
+                _done, pending = await asyncio.wait(self._slots, timeout=10.0)
+                for task in pending:
+                    task.cancel()
+        # Anything still marked running could not be interrupted (an
+        # in-process job ignores the cancel hook mid-job): record the
+        # truth rather than hang.
+        for record in self._records.values():
+            if not record.terminal:
+                record.add_event(service_event("cancelled", record.job))
+                record.finish(CANCELLED)
+                self.metrics.finished(
+                    CANCELLED, 0.0, time.time() - record.submitted_at
+                )
+        # Flush and close every sink (run log lines reach disk) off the
+        # loop, then stop the executor without waiting on orphaned
+        # threads.
+        await self._loop.run_in_executor(None, self.runtime.close)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+        if self.config.obs_dir:
+            self._export_obs()
+
+    def _export_obs(self) -> None:
+        """Service metrics + a Chrome trace of the scheduler stream,
+        through the existing obs exporters (best effort)."""
+        try:
+            from repro.obs.bridge import runtime_trace_events
+            from repro.obs.export import load_events_jsonl
+
+            obs_dir = Path(self.config.obs_dir)
+            obs_dir.mkdir(parents=True, exist_ok=True)
+            (obs_dir / "service-metrics.json").write_text(
+                json.dumps(self.metrics.snapshot(), indent=2, sort_keys=True)
+                + "\n",
+                encoding="utf-8",
+            )
+            runlog = obs_dir / "service-runtime.jsonl"
+            if runlog.exists():
+                document = {
+                    "traceEvents": runtime_trace_events(
+                        load_events_jsonl(runlog)
+                    )
+                }
+                (obs_dir / "service-trace.json").write_text(
+                    json.dumps(document) + "\n", encoding="utf-8"
+                )
+        except Exception as exc:  # noqa: BLE001 - telemetry is best effort
+            print(f"[service] obs export failed: {exc}")
+
+    # -- status ---------------------------------------------------------
+
+    def status(self) -> "dict[str, object]":
+        """The ``GET /status`` dashboard body."""
+        by_state: "dict[str, int]" = {}
+        for record in self._records.values():
+            by_state[record.state] = by_state.get(record.state, 0) + 1
+        cache = self.runtime.cache
+        generation = cache.generation_dir
+        current_entries = (
+            sum(
+                1
+                for path in generation.glob("*.json")
+                if not path.name.startswith(".tmp-")
+            )
+            if generation.is_dir()
+            else 0
+        )
+        stats = self.runtime.stats
+        return {
+            "service": {
+                "uptime_s": (
+                    time.time() - self.started_at
+                    if self.started_at is not None
+                    else 0.0
+                ),
+                "draining": self._draining,
+                "workers": self.config.workers,
+                "queue_capacity": self.config.queue_capacity,
+                "queue_depth": self._queue.qsize() if self._queue else 0,
+                "inflight": self._inflight,
+                "records": {"total": len(self._records), **by_state},
+            },
+            "cache": {
+                "enabled": self.config.use_cache,
+                "root": str(cache.root),
+                "code_version": cache.code_version,
+                "current_entries": current_entries,
+            },
+            "runtime": {
+                "submitted": stats.submitted,
+                "executed": stats.executed,
+                "cache_hits": stats.cache_hits,
+                "failed": stats.failed,
+                "interrupted": stats.interrupted,
+                "references": stats.references,
+                "wall_time": stats.wall_time,
+            },
+            "metrics": self.metrics.snapshot(),
+        }

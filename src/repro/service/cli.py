@@ -1,0 +1,220 @@
+"""``python -m repro.service`` — serve, submit, inspect.
+
+Subcommands::
+
+    python -m repro.service serve --port 8321 --workers 4 \\
+        --cache-dir .repro-cache --runlog service.jsonl
+    python -m repro.service submit --server http://127.0.0.1:8321 \\
+        repro.experiments.table2:table2_job \\
+        --params '{"name": "mst", "scale": 0.5}' --wait
+    python -m repro.service sweep --server http://127.0.0.1:8321 \\
+        --experiment table2 --workloads mst --scale 0.5 --wait
+    python -m repro.service status --server http://127.0.0.1:8321
+
+``serve`` prints ``repro.service listening on http://HOST:PORT`` on
+stdout once bound (with ``--port 0`` the kernel picks the port — CI
+and tests parse that line), then runs until SIGTERM/SIGINT, which
+triggers the graceful drain: stop accepting, finish or interrupt
+running jobs, flush every JSONL sink, exit 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.config import DEFAULT_PORT, ServiceConfig
+from repro.service.server import run_service
+
+
+def _config_from_args(args: argparse.Namespace) -> ServiceConfig:
+    return ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        isolate=not args.inline,
+        timeout=args.timeout,
+        retries=args.retries,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        drain_grace=args.drain_grace,
+        runlog=args.runlog,
+        obs_dir=args.obs,
+        quiet=args.quiet,
+        fn_prefixes=tuple(args.allow_fn) if args.allow_fn else ("repro.",),
+    )
+
+
+async def _serve(config: ServiceConfig) -> int:
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):
+            signal.signal(signum, lambda *_: stop.set())
+
+    def ready(server) -> None:
+        print(f"repro.service listening on {server.url}", flush=True)
+
+    await run_service(config, ready=ready, stop=stop)
+    print("repro.service drained cleanly", flush=True)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    return asyncio.run(_serve(_config_from_args(args)))
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.server, tenant=args.tenant)
+    try:
+        params = json.loads(args.params) if args.params else {}
+    except ValueError as exc:
+        print(f"invalid --params JSON: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(params, dict):
+        print("--params must be a JSON object", file=sys.stderr)
+        return 2
+    try:
+        body = client.submit(
+            fn=args.fn,
+            params=params,
+            label=args.label,
+            wait=args.wait,
+            wait_timeout=args.wait_timeout,
+        )
+    except ServiceError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(body, indent=2, sort_keys=True))
+    return 0 if body.get("state") != "failed" else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.server, tenant=args.tenant)
+    body: "dict[str, object]" = {"experiment": args.experiment}
+    if args.workloads:
+        body["workloads"] = args.workloads
+    if args.scale is not None:
+        body["scale"] = args.scale
+    if args.seed is not None:
+        body["seed"] = args.seed
+    try:
+        response = client.sweep(
+            body, wait=args.wait, wait_timeout=args.wait_timeout
+        )
+    except ServiceError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(response, indent=2, sort_keys=True))
+    counts = response.get("counts", {})
+    failed = any(
+        item.get("state") == "failed"
+        for item in response.get("jobs", [])
+        if isinstance(item, dict)
+    )
+    return 1 if failed or counts.get("rejected") else 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.server, tenant=args.tenant)
+    try:
+        print(json.dumps(client.status(), indent=2, sort_keys=True))
+    except ServiceError as exc:
+        print(f"status failed: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run a service instance")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, help="0 = ephemeral"
+    )
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--queue-capacity", type=int, default=64)
+    serve.add_argument(
+        "--inline",
+        action="store_true",
+        help="run jobs in-process instead of per-job worker processes "
+        "(faster startup, no crash isolation — tests and trusted use)",
+    )
+    serve.add_argument("--timeout", type=float, default=None)
+    serve.add_argument("--retries", type=int, default=1)
+    serve.add_argument("--no-cache", action="store_true")
+    serve.add_argument("--cache-dir", default=None)
+    serve.add_argument("--drain-grace", type=float, default=30.0)
+    serve.add_argument(
+        "--runlog", default=None, help="JSONL run log of scheduler events"
+    )
+    serve.add_argument(
+        "--obs",
+        default=None,
+        metavar="DIR",
+        help="on drain, export service metrics + Chrome trace here",
+    )
+    serve.add_argument("--quiet", action="store_true")
+    serve.add_argument(
+        "--allow-fn",
+        action="append",
+        metavar="PREFIX",
+        help="additional allowed job-fn import prefix (repeatable; "
+        "default: repro.)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    def _client_args(command) -> None:
+        command.add_argument(
+            "--server",
+            required=True,
+            metavar="URL",
+            help="base URL of a running service",
+        )
+        command.add_argument("--tenant", default=None)
+
+    submit = sub.add_parser("submit", help="submit one job")
+    _client_args(submit)
+    submit.add_argument("fn", help="job function, 'module:function'")
+    submit.add_argument(
+        "--params", default=None, help="JSON object of job params"
+    )
+    submit.add_argument("--label", default="")
+    submit.add_argument("--wait", action="store_true")
+    submit.add_argument("--wait-timeout", type=float, default=None)
+    submit.set_defaults(handler=_cmd_submit)
+
+    sweep = sub.add_parser("sweep", help="submit a named experiment sweep")
+    _client_args(sweep)
+    sweep.add_argument("--experiment", default="table2")
+    sweep.add_argument("--workloads", nargs="+", default=None)
+    sweep.add_argument("--scale", type=float, default=None)
+    sweep.add_argument("--seed", type=int, default=None)
+    sweep.add_argument("--wait", action="store_true")
+    sweep.add_argument("--wait-timeout", type=float, default=None)
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    status = sub.add_parser("status", help="print the /status dashboard")
+    _client_args(status)
+    status.set_defaults(handler=_cmd_status)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

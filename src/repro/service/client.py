@@ -1,0 +1,290 @@
+"""Stdlib client for a running ``repro.service`` instance.
+
+:class:`ServiceClient` wraps the HTTP API (``urllib.request``, no
+dependencies) with backpressure-aware submission: a 429 is retried
+after the server's ``Retry-After`` until ``deadline`` expires, so a
+burst of submissions against a small queue degrades into pacing, not
+failure.
+
+:class:`RemoteRuntime` is the seam the experiment drivers use: it
+quacks like :class:`~repro.runtime.scheduler.ExperimentRuntime`
+(``map`` → ordered :class:`~repro.runtime.scheduler.JobOutcome`\\ s,
+``stats``, ``bus``, ``close``), but submits every job to a service and
+polls for results — ``run_all --server URL`` swaps it in and no driver
+changes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator, Sequence
+
+from repro.runtime.events import EventBus, JobEvent, StderrSink
+from repro.runtime.job import Job
+from repro.runtime.scheduler import (
+    CACHED,
+    FAILED,
+    INTERRUPTED,
+    OK,
+    JobOutcome,
+    RunStats,
+)
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response (with the server's message when it sent one)."""
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: "float | None" = None,
+    ) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """Talk to one service instance."""
+
+    def __init__(
+        self,
+        base_url: str,
+        tenant: "str | None" = None,
+        timeout: float = 60.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: "object | None" = None
+    ) -> "dict[str, object]":
+        headers = {"Content-Type": "application/json"}
+        if self.tenant:
+            headers["X-Repro-Tenant"] = self.tenant
+        data = (
+            json.dumps(body, allow_nan=False).encode("utf-8")
+            if body is not None
+            else None
+        )
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                message = json.loads(raw.decode("utf-8")).get("error", "")
+            except (ValueError, UnicodeDecodeError):
+                message = raw.decode("utf-8", "replace")[:200]
+            retry_after = exc.headers.get("Retry-After")
+            raise ServiceError(
+                exc.code,
+                message or exc.reason,
+                retry_after=float(retry_after) if retry_after else None,
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {self.base_url}: {exc.reason}")
+
+    def _submit_paced(
+        self, path: str, body: "dict[str, object]", deadline: "float | None"
+    ) -> "dict[str, object]":
+        """POST with 429/503 pacing until ``deadline`` (seconds)."""
+        limit = time.monotonic() + deadline if deadline is not None else None
+        while True:
+            try:
+                return self._request("POST", path, body)
+            except ServiceError as exc:
+                if exc.status not in (429, 503) or exc.retry_after is None:
+                    raise
+                if limit is not None and time.monotonic() >= limit:
+                    raise
+                time.sleep(exc.retry_after)
+
+    # -- API ------------------------------------------------------------
+
+    def submit(
+        self,
+        fn: "str | None" = None,
+        params: "dict[str, object] | None" = None,
+        label: str = "",
+        job: "Job | None" = None,
+        wait: bool = False,
+        wait_timeout: "float | None" = None,
+        deadline: "float | None" = 60.0,
+    ) -> "dict[str, object]":
+        """Submit one job (by spec or as a :class:`Job`)."""
+        if job is not None:
+            fn, params, label = job.fn, job.kwargs, job.label
+        if fn is None:
+            raise ValueError("submit() needs fn=... or job=...")
+        body: "dict[str, object]" = {
+            "fn": fn,
+            "params": params or {},
+            "label": label,
+        }
+        if wait:
+            body["wait"] = True
+            if wait_timeout is not None:
+                body["wait_timeout"] = wait_timeout
+        return self._submit_paced("/jobs", body, deadline)
+
+    def sweep(
+        self,
+        body: "dict[str, object]",
+        wait: bool = False,
+        wait_timeout: "float | None" = None,
+        deadline: "float | None" = 60.0,
+    ) -> "dict[str, object]":
+        if wait:
+            body = {**body, "wait": True}
+            if wait_timeout is not None:
+                body["wait_timeout"] = wait_timeout
+        return self._submit_paced("/sweeps", body, deadline)
+
+    def job(self, job_hash: str) -> "dict[str, object]":
+        return self._request("GET", f"/jobs/{job_hash}")
+
+    def wait_for(
+        self,
+        job_hash: str,
+        timeout: "float | None" = None,
+        poll: float = 0.2,
+    ) -> "dict[str, object]":
+        """Poll one job until it reaches a terminal state."""
+        limit = time.monotonic() + timeout if timeout is not None else None
+        while True:
+            body = self.job(job_hash)
+            if body.get("state") in ("finished", "failed", "cancelled"):
+                return body
+            if limit is not None and time.monotonic() >= limit:
+                raise ServiceError(
+                    0, f"timed out waiting for job {job_hash}"
+                )
+            time.sleep(poll)
+
+    def events(self, job_hash: str) -> "Iterator[dict[str, object]]":
+        """Stream one job's JSONL events (replay + live tail)."""
+        request = urllib.request.Request(
+            f"{self.base_url}/jobs/{job_hash}/events"
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+            for line in resp:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+
+    def status(self) -> "dict[str, object]":
+        return self._request("GET", "/status")
+
+    def healthy(self) -> bool:
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except (ServiceError, OSError):
+            return False
+
+
+#: terminal service states -> JobOutcome statuses
+_STATE_TO_STATUS = {
+    "finished": OK,
+    "failed": FAILED,
+    "cancelled": INTERRUPTED,
+}
+
+
+class RemoteRuntime:
+    """An ``ExperimentRuntime``-shaped facade over a service.
+
+    ``map`` submits every job (paced under backpressure), then polls
+    until each is terminal, returning outcomes in input order — the
+    contract the drivers rely on.  Submissions the server answers with
+    ``status: cache-hit`` become ``cached`` outcomes, so a repeated
+    ``run_all --server`` reports all cache hits exactly like the local
+    path does.
+    """
+
+    def __init__(
+        self,
+        client: ServiceClient,
+        bus: "EventBus | None" = None,
+        poll: float = 0.2,
+        deadline: "float | None" = None,
+    ) -> None:
+        self.client = client
+        self.bus = bus if bus is not None else EventBus([StderrSink()])
+        self.poll = poll
+        self.deadline = deadline
+        self.stats = RunStats()
+        # Shape compatibility with ExperimentRuntime; the service owns
+        # the real cache.
+        self.cache = None
+
+    def map(self, jobs: "Sequence[Job]") -> "list[JobOutcome]":
+        jobs = list(jobs)
+        self.stats.submitted += len(jobs)
+        start = time.monotonic()
+        submitted: "list[tuple[Job, dict[str, object]]]" = []
+        for job in jobs:
+            response = self.client.submit(job=job, deadline=self.deadline)
+            submitted.append((job, response))
+        outcomes: "list[JobOutcome]" = []
+        for job, response in submitted:
+            body = (
+                response
+                if response.get("state") in _STATE_TO_STATUS
+                else self.client.wait_for(job.hash, poll=self.poll)
+            )
+            outcomes.append(self._outcome(job, response, body))
+        self.stats.wall_time += time.monotonic() - start
+        for outcome in outcomes:
+            self.stats.absorb(outcome)
+        return outcomes
+
+    def run_one(self, job: Job) -> JobOutcome:
+        return self.map([job])[0]
+
+    def _outcome(
+        self,
+        job: Job,
+        submission: "dict[str, object]",
+        body: "dict[str, object]",
+    ) -> JobOutcome:
+        state = str(body.get("state"))
+        status = _STATE_TO_STATUS.get(state, INTERRUPTED)
+        if status == OK and submission.get("status") == "cache-hit":
+            status = CACHED
+        payload = body.get("payload")
+        error = body.get("error")
+        outcome = JobOutcome(
+            job=job,
+            status=status,
+            payload=payload if isinstance(payload, dict) else None,
+            error=str(error) if error is not None else None,
+        )
+        self.bus.emit(
+            JobEvent(
+                event=(
+                    "cache-hit"
+                    if status == CACHED
+                    else {OK: "finished", FAILED: "failed"}.get(
+                        status, "interrupted"
+                    )
+                ),
+                label=job.name,
+                job_hash=job.hash,
+                error=outcome.error,
+            )
+        )
+        return outcome
+
+    def close(self) -> None:
+        self.bus.close()

@@ -1,0 +1,68 @@
+"""Configuration for one service instance.
+
+Everything the serve CLI exposes as a flag lives here as a field, so a
+programmatic embedding (tests, a fleet supervisor) and the command line
+construct the same object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: default TCP port (unassigned by IANA; "repro" on a phone keypad-ish)
+DEFAULT_PORT = 8321
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs for one ``repro.service`` instance."""
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT  #: 0 = ephemeral (the bound port is reported)
+    workers: int = 2  #: concurrent job executions
+    queue_capacity: int = 64  #: queued-but-not-running submissions
+    isolate: bool = True  #: run each job in its own worker process
+    timeout: "float | None" = None  #: per-job wall-clock limit, seconds
+    retries: int = 1  #: crash retries (worker-process mode)
+    use_cache: bool = True  #: serve and populate the shared ResultCache
+    cache_dir: "str | None" = None  #: cache root override
+    drain_grace: float = 30.0  #: seconds to let running jobs finish on drain
+    retry_after: float = 2.0  #: Retry-After seconds on 429/503
+    runlog: "str | None" = None  #: JSONL run log of every scheduler event
+    obs_dir: "str | None" = None  #: export service metrics + trace here
+    quiet: bool = False  #: suppress per-job stderr progress lines
+    max_body_bytes: int = 1 << 20  #: request-body cap (413 beyond)
+    max_records: int = 4096  #: finished records kept in memory (LRU)
+    fn_prefixes: "tuple[str, ...]" = ("repro.",)  #: allowed job fn roots
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.drain_grace < 0:
+            raise ValueError(
+                f"drain_grace must be >= 0, got {self.drain_grace}"
+            )
+        if self.retry_after <= 0:
+            raise ValueError(
+                f"retry_after must be positive, got {self.retry_after}"
+            )
+        if self.max_records < 1:
+            raise ValueError(
+                f"max_records must be >= 1, got {self.max_records}"
+            )
+        if not self.fn_prefixes:
+            raise ValueError("fn_prefixes must name at least one prefix")
+
+    def allows_fn(self, fn: str) -> bool:
+        """Is this job-function import path accepted for execution?
+
+        The service resolves and calls arbitrary ``module:function``
+        strings, so submissions are restricted to known roots
+        (``repro.`` by default) — an open listener must not be a
+        remote-import-and-call gadget.
+        """
+        return any(fn.startswith(prefix) for prefix in self.fn_prefixes)

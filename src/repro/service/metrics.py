@@ -1,0 +1,113 @@
+"""Service-level telemetry on the existing ``repro.obs`` registry.
+
+The obs package already knows how to count, bucket, export and merge —
+the service just names the instruments a scheduler-as-a-service needs
+(the lead/follow-style service metrics Affinity Tailor reports):
+admission counters split by how each submission was served (cold
+execution vs dedup-attach vs cache hit), backpressure rejections,
+queue-depth/in-flight gauges, and latency histograms for queue wait,
+execution, and end-to-end service time.  ``snapshot()`` is the
+``GET /status`` body's ``metrics`` section and merges across instances
+with :meth:`~repro.obs.metrics.MetricsRegistry.merge_dicts`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import MetricsRegistry
+
+#: histogram values are recorded in microseconds (ints keep HDR buckets)
+_US = 1_000_000
+
+
+def _tenant_slug(tenant: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_-]+", "-", tenant)[:64] or "anon"
+
+
+class ServiceMetrics:
+    """Named instruments for one service instance."""
+
+    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        # Touch the headline instruments so /status shows explicit
+        # zeros from the first request on, not a shape that grows.
+        for name in (
+            "service.submissions",
+            "service.enqueued",
+            "service.dedup_hits",
+            "service.cache_hits",
+            "service.rejected",
+            "service.executed",
+            "service.failed",
+            "service.cancelled",
+            "service.http.requests",
+            "service.http.errors",
+        ):
+            self.registry.counter(name)
+        self.registry.gauge("service.queue_depth")
+        self.registry.gauge("service.inflight")
+
+    # -- admission ------------------------------------------------------
+
+    def submission(self, tenant: str, kind: str) -> None:
+        """One accepted submission, by how it was served: ``submitted``
+        (cold, enqueued), ``attached`` (dedup to in-flight), or
+        ``cache-hit`` (served from the result cache, no pool work)."""
+        self.registry.counter("service.submissions").inc()
+        self.registry.counter(
+            f"service.tenant.{_tenant_slug(tenant)}.submissions"
+        ).inc()
+        if kind == "cache-hit":
+            self.registry.counter("service.cache_hits").inc()
+        elif kind == "attached":
+            self.registry.counter("service.dedup_hits").inc()
+        else:
+            self.registry.counter("service.enqueued").inc()
+
+    def rejected(self, tenant: str) -> None:
+        """One submission bounced by backpressure (429)."""
+        self.registry.counter("service.rejected").inc()
+        self.registry.counter(
+            f"service.tenant.{_tenant_slug(tenant)}.rejected"
+        ).inc()
+
+    # -- execution lifecycle --------------------------------------------
+
+    def started(self, queue_wait_s: float) -> None:
+        self.registry.histogram("service.queue_wait_us").record(
+            int(max(0.0, queue_wait_s) * _US)
+        )
+
+    def finished(self, state: str, run_s: float, total_s: float) -> None:
+        """One record reached a terminal state (``finished`` /
+        ``failed`` / ``cancelled``)."""
+        counter = {
+            "finished": "service.executed",
+            "failed": "service.failed",
+        }.get(state, "service.cancelled")
+        self.registry.counter(counter).inc()
+        self.registry.histogram("service.run_us").record(
+            int(max(0.0, run_s) * _US)
+        )
+        self.registry.histogram("service.latency_us").record(
+            int(max(0.0, total_s) * _US)
+        )
+
+    # -- load gauges ----------------------------------------------------
+
+    def set_depth(self, queue_depth: int, inflight: int) -> None:
+        self.registry.gauge("service.queue_depth").set(queue_depth)
+        self.registry.gauge("service.inflight").set(inflight)
+
+    # -- HTTP front ------------------------------------------------------
+
+    def http_request(self, status: int) -> None:
+        self.registry.counter("service.http.requests").inc()
+        if status >= 400:
+            self.registry.counter("service.http.errors").inc()
+
+    # -- export ---------------------------------------------------------
+
+    def snapshot(self) -> "dict[str, object]":
+        return self.registry.to_dict()

@@ -1,0 +1,184 @@
+"""In-memory job records: the service's view of one job hash.
+
+A :class:`JobRecord` is the single point every concern meets at — the
+submission path attaches duplicates to it, the executor drives it
+through its lifecycle, the streaming API replays and tails its event
+history, and the status endpoint counts it.  All mutation happens on
+the event loop thread (worker-thread traffic is marshalled in through
+``call_soon_threadsafe``), so records need no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.runtime.job import Job
+from repro.runtime.scheduler import JobOutcome
+
+#: record lifecycle states
+QUEUED, RUNNING, FINISHED, FAILED, CANCELLED = (
+    "queued",
+    "running",
+    "finished",
+    "failed",
+    "cancelled",
+)
+TERMINAL_STATES = (FINISHED, FAILED, CANCELLED)
+
+#: submission kinds the broker reports back to the API layer
+SUBMITTED, ATTACHED, CACHE_HIT = "submitted", "attached", "cache-hit"
+
+#: sentinel pushed to subscriber queues when a record's stream ends
+STREAM_END = None
+
+
+class JobRecord:
+    """One job hash's lifecycle inside the service."""
+
+    __slots__ = (
+        "job",
+        "state",
+        "submitted_at",
+        "started_at",
+        "finished_at",
+        "submissions",
+        "tenants",
+        "history",
+        "subscribers",
+        "done",
+        "outcome",
+    )
+
+    def __init__(self, job: Job, tenant: str, now: "float | None" = None):
+        self.job = job
+        self.state = QUEUED
+        self.submitted_at = now if now is not None else time.time()
+        self.started_at: "float | None" = None
+        self.finished_at: "float | None" = None
+        self.submissions = 0
+        self.tenants: "dict[str, int]" = {}
+        self.history: "list[dict[str, object]]" = []
+        self.subscribers: "list[asyncio.Queue]" = []
+        self.done = asyncio.Event()
+        self.outcome: "JobOutcome | None" = None
+        self.note_submission(tenant)
+
+    # -- submission bookkeeping -----------------------------------------
+
+    def note_submission(self, tenant: str) -> None:
+        self.submissions += 1
+        self.tenants[tenant] = self.tenants.get(tenant, 0) + 1
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def payload(self) -> "dict[str, object] | None":
+        return self.outcome.payload if self.outcome is not None else None
+
+    @property
+    def error(self) -> "str | None":
+        return self.outcome.error if self.outcome is not None else None
+
+    # -- event history + live streams -----------------------------------
+
+    def add_event(self, record: "dict[str, object]") -> None:
+        """Append one event record and fan it to live subscribers."""
+        self.history.append(record)
+        for queue in self.subscribers:
+            queue.put_nowait(record)
+
+    def subscribe(self) -> "asyncio.Queue":
+        """A queue that replays the history then tails live events;
+        :data:`STREAM_END` marks the end for terminal records."""
+        queue: "asyncio.Queue" = asyncio.Queue()
+        for record in self.history:
+            queue.put_nowait(record)
+        if self.terminal:
+            queue.put_nowait(STREAM_END)
+        else:
+            self.subscribers.append(queue)
+        return queue
+
+    def unsubscribe(self, queue: "asyncio.Queue") -> None:
+        try:
+            self.subscribers.remove(queue)
+        except ValueError:
+            pass  # already ended the stream
+
+    # -- lifecycle ------------------------------------------------------
+
+    def finish(
+        self,
+        state: str,
+        outcome: "JobOutcome | None" = None,
+        now: "float | None" = None,
+    ) -> None:
+        """Move to a terminal state, wake waiters, end live streams."""
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"finish() needs a terminal state, got {state!r}")
+        self.state = state
+        self.outcome = outcome
+        self.finished_at = now if now is not None else time.time()
+        for queue in self.subscribers:
+            queue.put_nowait(STREAM_END)
+        self.subscribers.clear()
+        self.done.set()
+
+    # -- API shape ------------------------------------------------------
+
+    def describe(self, with_payload: bool = True) -> "dict[str, object]":
+        """The ``GET /jobs/<hash>`` response body."""
+        body: "dict[str, object]" = {
+            "hash": self.job.hash,
+            "label": self.job.name,
+            "fn": self.job.fn,
+            "params": self.job.kwargs,
+            "state": self.state,
+            "submissions": self.submissions,
+            "tenants": dict(self.tenants),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "events": len(self.history),
+        }
+        if self.state == FINISHED and with_payload:
+            body["payload"] = self.payload
+        if self.error is not None:
+            body["error"] = self.error
+        return body
+
+
+class Submission:
+    """What one ``submit`` produced: the record plus how it was served."""
+
+    __slots__ = ("record", "kind")
+
+    def __init__(self, record: JobRecord, kind: str):
+        if kind not in (SUBMITTED, ATTACHED, CACHE_HIT):
+            raise ValueError(f"unknown submission kind {kind!r}")
+        self.record = record
+        self.kind = kind
+
+
+def service_event(
+    event: str, job: Job, **extra: object
+) -> "dict[str, object]":
+    """A service-synthesised event record in the run-log wire shape
+    (``queued`` at admission, ``cancelled`` on drain) — same keys as
+    the bridged scheduler events so one JSONL stream stays uniform."""
+    record: "dict[str, object]" = {
+        "event": event,
+        "label": job.name,
+        "job_hash": job.hash,
+        "timestamp": time.time(),
+        "attempt": 1,
+        "duration": None,
+        "references": None,
+        "error": None,
+        "refs_per_sec": None,
+    }
+    record.update(extra)
+    return record

@@ -87,3 +87,61 @@ class TestMaintenance:
 
     def test_clear_missing_root_is_noop(self, tmp_path):
         assert ResultCache(root=tmp_path / "nope").clear() == 0
+
+
+def _age(path, days):
+    import os
+    import time
+
+    past = time.time() - days * 86400.0
+    os.utime(path, (past, past))
+
+
+class TestPrune:
+    def test_prune_by_age_keeps_fresh_artifacts(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        old_path = cache.put(job(value=1), {"value": 1})
+        cache.put(job(value=2), {"value": 2})
+        _age(old_path, days=10)
+        assert cache.prune(older_than_days=7) == 1
+        assert cache.get(job(value=1)) is None
+        assert cache.get(job(value=2)) == {"value": 2}
+
+    def test_prune_spans_generations_and_drops_empty_dirs(self, tmp_path):
+        current = ResultCache(root=tmp_path, code_version="bbbb")
+        stale = ResultCache(root=tmp_path, code_version="aaaa")
+        _age(stale.put(job(value=1), {"value": 1}), days=30)
+        current.put(job(value=1), {"value": 1})
+        assert current.prune(older_than_days=7) == 1
+        assert not (tmp_path / "aaaa").exists()  # emptied, removed
+        assert current.get(job(value=1)) == {"value": 1}
+
+    def test_prune_sweeps_stale_staging_files_uncounted(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put(job(value=1), {"value": 1})
+        crashed = cache.generation_dir / ".tmp-crashed-writer.json"
+        crashed.write_text("{ partial", encoding="utf-8")
+        _age(crashed, days=1)
+        fresh = cache.generation_dir / ".tmp-live-writer.json"
+        fresh.write_text("{ partial", encoding="utf-8")
+        # Leftovers are swept but not counted as artifacts; a staging
+        # file younger than an hour may belong to a live writer.
+        assert cache.prune(older_than_days=7) == 0
+        assert not crashed.exists()
+        assert fresh.exists()
+        assert cache.get(job(value=1)) == {"value": 1}
+
+    def test_prune_zero_days_clears_everything_published(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        _age(cache.put(job(value=1), {"value": 1}), days=0.001)
+        assert cache.prune(older_than_days=0) == 1
+        assert cache.get(job(value=1)) is None
+
+    def test_prune_rejects_negative_age(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ResultCache(root=tmp_path).prune(older_than_days=-1)
+
+    def test_prune_missing_root_is_noop(self, tmp_path):
+        assert ResultCache(root=tmp_path / "nope").prune(older_than_days=0) == 0

@@ -35,6 +35,30 @@ class TestStatusAndClear:
         assert current.get(Job.create(ECHO, value=1)) == {"value": 1}
         assert stale.get(Job.create(ECHO, value=1)) is None
 
+    def test_clear_cache_older_than_is_retention(self, tmp_path, capsys):
+        import os
+        import time
+
+        cache = ResultCache(root=tmp_path)
+        old_path = cache.put(Job.create(ECHO, value=1), {"value": 1})
+        cache.put(Job.create(ECHO, value=2), {"value": 2})
+        past = time.time() - 14 * 86400.0
+        os.utime(old_path, (past, past))
+        assert (
+            main(
+                [
+                    "clear-cache",
+                    "--older-than", "7",
+                    "--cache-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "removed 1 artifacts older than 7 days" in out
+        assert cache.get(Job.create(ECHO, value=1)) is None
+        assert cache.get(Job.create(ECHO, value=2)) == {"value": 2}
+
 
 class TestRunForwarding:
     def test_run_forwards_to_run_all(self, tmp_path, capsys):

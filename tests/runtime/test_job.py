@@ -58,6 +58,38 @@ class TestJobHash:
             Job.create("not_a_path")
 
 
+class TestNonFiniteParams:
+    """NaN/Infinity are not portable JSON: different clients encode the
+    non-standard tokens differently, so identical submissions could
+    hash apart.  They must be rejected loudly, at submission time."""
+
+    def test_canonical_json_rejects_nan_with_location(self):
+        from repro.runtime.job import canonical_json
+
+        with pytest.raises(ValueError) as exc_info:
+            canonical_json({"scale": float("nan")})
+        message = str(exc_info.value)
+        assert "$.scale" in message
+        assert "not portable JSON" in message
+
+    def test_canonical_json_locates_nested_infinity(self):
+        from repro.runtime.job import canonical_json
+
+        with pytest.raises(ValueError) as exc_info:
+            canonical_json({"sweep": {"points": [0.5, float("inf")]}})
+        assert "$.sweep.points[1]" in str(exc_info.value)
+
+    def test_job_create_fails_eagerly(self):
+        # At Job.create, not later inside .hash deep in a worker.
+        with pytest.raises(ValueError) as exc_info:
+            Job.create(ECHO, scale=float("nan"))
+        assert "$.scale" in str(exc_info.value)
+
+    def test_finite_floats_still_fine(self):
+        job = Job.create(ECHO, scale=0.5, offset=-1e308)
+        assert job.hash
+
+
 class TestExecution:
     def test_execute_runs_and_times(self):
         payload, duration = execute_job(Job.create(ECHO, value=41))

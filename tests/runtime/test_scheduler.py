@@ -158,6 +158,62 @@ class TestParallel:
         assert "det" in outcomes[0].error
 
 
+class TestCancelHook:
+    """The external cancellation seam the service's drain uses: a
+    ``cancel()`` callable polled between jobs that turns the rest of
+    the batch into ``interrupted`` outcomes, exactly like Ctrl-C."""
+
+    def test_serial_cancel_between_jobs(self, tmp_path):
+        rt = runtime(tmp_path, jobs=1)
+        checks = iter([False, True])
+
+        def cancel():
+            return next(checks, True)
+
+        outcomes = rt.map(
+            [Job.create(ECHO, value=i) for i in range(3)], cancel=cancel
+        )
+        assert [o.status for o in outcomes] == [
+            "ok",
+            "interrupted",
+            "interrupted",
+        ]
+        # The finished job reached the cache: resubmission resumes.
+        assert rt.map([Job.create(ECHO, value=0)])[0].status == "cached"
+
+    def test_already_cancelled_runs_nothing(self, tmp_path):
+        rt = runtime(tmp_path, jobs=1, use_cache=False)
+        outcomes = rt.map(
+            [Job.create(ECHO, value=i) for i in range(3)],
+            cancel=lambda: True,
+        )
+        assert [o.status for o in outcomes] == ["interrupted"] * 3
+        assert rt.stats.executed == 0
+
+    def test_parallel_cancel_terminates_workers(self, tmp_path):
+        import threading
+
+        rt = runtime(tmp_path, jobs=2, use_cache=False)
+        flag = threading.Event()
+        flag.set()
+        outcomes = rt.map(
+            [Job.create(SLOW, seconds=30.0), Job.create(SLOW, seconds=31.0)],
+            cancel=flag.is_set,
+        )
+        assert [o.status for o in outcomes] == ["interrupted"] * 2
+
+    def test_event_is_set_works_as_cancel(self, tmp_path):
+        """The exact shape the service passes: threading.Event.is_set."""
+        import threading
+
+        rt = runtime(tmp_path, jobs=1)
+        flag = threading.Event()
+        outcomes = rt.map(
+            [Job.create(ECHO, value=41)], cancel=flag.is_set
+        )
+        assert outcomes[0].status == "ok"
+
+
 class TestStats:
     def test_references_and_counters_accumulate(self, tmp_path):
         rt = runtime(tmp_path, jobs=1)

@@ -1,0 +1,98 @@
+"""Service test fixtures: a live server on an ephemeral port.
+
+The server runs a private event loop on a daemon thread; tests talk to
+it over real TCP with :class:`~repro.service.client.ServiceClient`
+(and raw sockets where the test is about the protocol).  Jobs run
+in-process (``isolate=False``) so the suite stays fast — worker-process
+isolation is the scheduler's behaviour, already covered by
+``tests/runtime``.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.service.broker import JobBroker
+from repro.service.client import ServiceClient
+from repro.service.config import ServiceConfig
+from repro.service.server import ServiceServer
+
+#: job-fn roots the test services accept
+TEST_PREFIXES = ("repro.", "tests.")
+
+
+class LiveService:
+    """One service instance on a background thread."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.broker: "JobBroker | None" = None
+        self.server: "ServiceServer | None" = None
+        self.port: "int | None" = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._stop: "asyncio.Event | None" = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def start(self) -> "LiveService":
+        self._thread.start()
+        assert self._ready.wait(timeout=10), "service did not come up"
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.broker = JobBroker(self.config)
+        self.server = ServiceServer(self.broker, self.config)
+        await self.server.start()
+        self.port = self.server.port
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.shutdown()
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def client(self, tenant: "str | None" = None) -> ServiceClient:
+        return ServiceClient(self.url, tenant=tenant)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Trigger the graceful drain and wait for the thread to end."""
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already gone
+        self._thread.join(timeout=timeout)
+        assert not self._thread.is_alive(), "service thread did not drain"
+
+
+@pytest.fixture
+def live_service(tmp_path):
+    """Factory: start services with overrides; all drained at teardown."""
+    started: "list[LiveService]" = []
+
+    def factory(**overrides) -> LiveService:
+        settings = dict(
+            host="127.0.0.1",
+            port=0,
+            workers=2,
+            isolate=False,
+            quiet=True,
+            drain_grace=5.0,
+            cache_dir=str(tmp_path / f"svc-cache-{len(started)}"),
+            fn_prefixes=TEST_PREFIXES,
+        )
+        settings.update(overrides)
+        service = LiveService(ServiceConfig(**settings)).start()
+        started.append(service)
+        return service
+
+    yield factory
+    for service in started:
+        service.stop()

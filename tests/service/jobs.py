@@ -1,0 +1,41 @@
+"""Module-level job functions for service tests.
+
+Service jobs resolve by import path, so everything here must live at
+module scope.  Execution counting goes through an append-only file
+(``O_APPEND`` writes are atomic for these line sizes) so the count is
+correct whether the job runs in-process, on an executor thread, or in
+a spawned worker.
+"""
+
+import os
+import time
+
+
+def _count(counter_path):
+    if counter_path:
+        with open(counter_path, "a", encoding="utf-8") as handle:
+            handle.write(f"{os.getpid()}\n")
+
+
+def executions(counter_path):
+    """How many times a counted job body actually ran."""
+    try:
+        with open(counter_path, "r", encoding="utf-8") as handle:
+            return sum(1 for _ in handle)
+    except OSError:
+        return 0
+
+
+def echo(value, counter_path=None):
+    _count(counter_path)
+    return {"value": value, "references": 1}
+
+
+def slow_echo(value, seconds=0.5, counter_path=None):
+    _count(counter_path)
+    time.sleep(seconds)
+    return {"value": value, "slept": seconds, "references": 1}
+
+
+def boom(message="kaboom"):
+    raise ValueError(message)

@@ -1,0 +1,219 @@
+"""Broker semantics: admission kinds, dedup, cache fronts, drain.
+
+These tests drive :class:`~repro.service.broker.JobBroker` directly on
+a private event loop — no HTTP — so each admission decision is
+observable as the :class:`~repro.service.records.Submission` kind.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.runtime.job import Job
+from repro.service.broker import BackpressureError, DrainingError, JobBroker
+from repro.service.config import ServiceConfig
+from repro.service.records import (
+    ATTACHED,
+    CACHE_HIT,
+    CANCELLED,
+    FAILED,
+    FINISHED,
+    RUNNING,
+    SUBMITTED,
+)
+
+from tests.service.jobs import executions
+
+ECHO = "tests.service.jobs:echo"
+SLOW = "tests.service.jobs:slow_echo"
+BOOM = "tests.service.jobs:boom"
+
+
+def metric_value(status, name):
+    """One counter's value out of the /status metrics snapshot."""
+    return status["metrics"][name]["value"]
+
+
+def config_for(tmp_path, **overrides):
+    settings = dict(
+        isolate=False,
+        quiet=True,
+        drain_grace=5.0,
+        cache_dir=str(tmp_path / "cache"),
+        fn_prefixes=("repro.", "tests."),
+    )
+    settings.update(overrides)
+    return ServiceConfig(**settings)
+
+
+def run_broker(config, scenario):
+    """Run ``await scenario(broker)`` between start() and drain()."""
+
+    async def main():
+        broker = JobBroker(config)
+        await broker.start()
+        try:
+            return await scenario(broker)
+        finally:
+            await broker.drain()
+
+    return asyncio.run(main())
+
+
+async def wait_terminal(record, timeout=10.0):
+    await asyncio.wait_for(record.done.wait(), timeout=timeout)
+    return record
+
+
+async def wait_running(broker, record, timeout=10.0):
+    """Block until the slot dequeued the record (queue slot freed)."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while record.state not in (RUNNING, FINISHED, FAILED, CANCELLED):
+        assert asyncio.get_running_loop().time() < deadline, record.state
+        await asyncio.sleep(0.01)
+
+
+def test_cold_submission_executes_and_finishes(tmp_path):
+    counter = tmp_path / "count"
+    job = Job.create(ECHO, value=7, counter_path=str(counter))
+
+    async def scenario(broker):
+        submission = broker.submit(job, tenant="alice")
+        assert submission.kind == SUBMITTED
+        record = await wait_terminal(submission.record)
+        assert record.state == FINISHED
+        assert record.payload["value"] == 7
+        assert record.tenants == {"alice": 1}
+        return broker.status()
+
+    status = run_broker(config_for(tmp_path), scenario)
+    assert executions(counter) == 1
+    assert status["runtime"]["executed"] == 1
+    assert metric_value(status, "service.executed") == 1
+
+
+def test_repeat_submission_is_memory_cache_hit(tmp_path):
+    counter = tmp_path / "count"
+    job = Job.create(ECHO, value=7, counter_path=str(counter))
+
+    async def scenario(broker):
+        first = broker.submit(job)
+        await wait_terminal(first.record)
+        second = broker.submit(job)
+        assert second.kind == CACHE_HIT
+        assert second.record is first.record
+        assert second.record.submissions == 2
+
+    run_broker(config_for(tmp_path), scenario)
+    assert executions(counter) == 1
+
+
+def test_disk_cache_fronts_a_fresh_broker(tmp_path):
+    counter = tmp_path / "count"
+    job = Job.create(ECHO, value=9, counter_path=str(counter))
+    config = config_for(tmp_path)
+
+    async def cold(broker):
+        await wait_terminal(broker.submit(job).record)
+
+    run_broker(config, cold)
+    assert executions(counter) == 1
+
+    async def warm(broker):
+        submission = broker.submit(job)
+        assert submission.kind == CACHE_HIT
+        assert submission.record.state == FINISHED
+        assert submission.record.payload["value"] == 9
+        # Served from the artifact: terminal immediately, no queue trip.
+        assert [e["event"] for e in submission.record.history] == ["cache-hit"]
+
+    run_broker(config, warm)
+    assert executions(counter) == 1  # never re-executed
+
+
+def test_inflight_submissions_attach_to_one_execution(tmp_path):
+    counter = tmp_path / "count"
+    job = Job.create(SLOW, value=1, seconds=0.5, counter_path=str(counter))
+
+    async def scenario(broker):
+        first = broker.submit(job, tenant="a")
+        second = broker.submit(job, tenant="b")
+        assert second.kind == ATTACHED
+        assert second.record is first.record
+        record = await wait_terminal(first.record)
+        assert record.submissions == 2
+        assert record.tenants == {"a": 1, "b": 1}
+        return broker.status()
+
+    status = run_broker(config_for(tmp_path), scenario)
+    assert executions(counter) == 1
+    assert metric_value(status, "service.dedup_hits") == 1
+    assert metric_value(status, "service.enqueued") == 1
+
+
+def test_full_queue_bounces_with_backpressure(tmp_path):
+    config = config_for(tmp_path, workers=1, queue_capacity=1)
+
+    async def scenario(broker):
+        running = broker.submit(Job.create(SLOW, value=1, seconds=2.0))
+        await wait_running(broker, running.record)
+        queued = broker.submit(Job.create(SLOW, value=2, seconds=0.01))
+        assert queued.kind == SUBMITTED
+        with pytest.raises(BackpressureError) as exc_info:
+            broker.submit(Job.create(SLOW, value=3, seconds=0.01))
+        assert exc_info.value.retry_after == config.retry_after
+        return broker.status()
+
+    status = run_broker(config, scenario)
+    assert metric_value(status, "service.rejected") == 1
+
+
+def test_failed_job_records_error_and_resubmission_retries(tmp_path):
+    job = Job.create(BOOM, message="nope")
+
+    async def scenario(broker):
+        first = broker.submit(job)
+        record = await wait_terminal(first.record)
+        assert record.state == FAILED
+        assert "nope" in record.error
+        # A terminal failure is not cached: resubmitting is an explicit
+        # request to try again.
+        second = broker.submit(job)
+        assert second.kind == SUBMITTED
+        assert second.record is not first.record
+        assert (await wait_terminal(second.record)).state == FAILED
+
+    run_broker(config_for(tmp_path), scenario)
+
+
+def test_drain_cancels_queued_keeps_finished(tmp_path):
+    counter = tmp_path / "count"
+    config = config_for(tmp_path, workers=1, queue_capacity=4)
+
+    async def scenario(broker):
+        running = broker.submit(
+            Job.create(SLOW, value=1, seconds=0.3, counter_path=str(counter))
+        )
+        await wait_running(broker, running.record)
+        queued = broker.submit(
+            Job.create(SLOW, value=2, seconds=0.3, counter_path=str(counter))
+        )
+        await broker.drain()
+        # The running job got its grace and finished; the queued one was
+        # cancelled without ever executing.
+        assert running.record.state == FINISHED
+        assert queued.record.state == CANCELLED
+        assert [e["event"] for e in queued.record.history] == [
+            "queued",
+            "cancelled",
+        ]
+        with pytest.raises(DrainingError):
+            broker.submit(Job.create(ECHO, value=3))
+
+    async def main():
+        broker = JobBroker(config)
+        await broker.start()
+        await scenario(broker)
+
+    asyncio.run(main())
+    assert executions(counter) == 1

@@ -1,0 +1,115 @@
+"""ServiceClient + RemoteRuntime: the driver-side seam.
+
+``RemoteRuntime`` must quack like ``ExperimentRuntime`` — ordered
+outcomes, ``cached`` statuses on repeats, stats, bus events — because
+``run_all --server URL`` swaps it in without touching any driver.
+"""
+
+from repro.experiments.run_all import main as run_all_main
+from repro.runtime.events import EventBus
+from repro.runtime.job import Job
+from repro.runtime.scheduler import CACHED, FAILED, OK
+from repro.service.client import RemoteRuntime
+
+ECHO = "tests.service.jobs:echo"
+BOOM = "tests.service.jobs:boom"
+
+
+class ListSink:
+    def __init__(self):
+        self.events = []
+        self.closed = False
+
+    def emit(self, event):
+        self.events.append(event)
+
+    def close(self):
+        self.closed = True
+
+
+def test_remote_map_returns_ordered_outcomes(live_service):
+    service = live_service()
+    sink = ListSink()
+    runtime = RemoteRuntime(service.client(), bus=EventBus([sink]), poll=0.05)
+    jobs = [
+        Job.create(ECHO, value=1),
+        Job.create(BOOM, message="bad"),
+        Job.create(ECHO, value=2),
+    ]
+    outcomes = runtime.map(jobs)
+    assert [o.job.hash for o in outcomes] == [j.hash for j in jobs]
+    assert [o.status for o in outcomes] == [OK, FAILED, OK]
+    assert outcomes[0].payload["value"] == 1
+    assert outcomes[2].payload["value"] == 2
+    assert "bad" in outcomes[1].error
+    assert runtime.stats.submitted == 3
+    assert runtime.stats.failed == 1
+    assert [e.event for e in sink.events] == ["finished", "failed", "finished"]
+    runtime.close()
+    assert sink.closed
+
+
+def test_remote_repeat_reports_cached_outcomes(live_service):
+    service = live_service()
+    runtime = RemoteRuntime(service.client(), bus=EventBus([]), poll=0.05)
+    jobs = [Job.create(ECHO, value=10), Job.create(ECHO, value=11)]
+    first = runtime.map(jobs)
+    assert [o.status for o in first] == [OK, OK]
+
+    again = RemoteRuntime(service.client(), bus=EventBus([]), poll=0.05)
+    second = again.map(jobs)
+    assert [o.status for o in second] == [CACHED, CACHED]
+    assert [o.payload for o in second] == [o.payload for o in first]
+    assert again.stats.cache_hits == 2
+    assert again.stats.executed == 0
+
+
+def test_named_table2_sweep_expands_and_runs(live_service):
+    service = live_service()
+    client = service.client()
+    body = client.sweep(
+        {"experiment": "table2", "workloads": ["bisort"], "scale": 0.05},
+        wait=True,
+    )
+    assert body["counts"]["submitted"] == 1
+    (item,) = body["jobs"]
+    assert item["state"] == "finished"
+    assert item["label"] == "table2/bisort"
+    assert item["payload"]["references"] > 0
+
+
+def test_run_all_against_a_service(live_service, capsys):
+    service = live_service()
+    argv = [
+        "--only", "table2",
+        "--workloads", "bisort",
+        "--scale", "0.05",
+        "--quiet",
+        "--server", service.url,
+    ]
+    assert run_all_main(argv) == 0
+    captured = capsys.readouterr()
+    assert "Table 2" in captured.out
+    assert "run_all: 1/1 experiments ok" in captured.err
+    assert "1 jobs run" in captured.err
+
+    # Same command again: the service answers from its cache — no new
+    # execution, and the driver reports the hits exactly like a local
+    # warm-cache run would.
+    assert run_all_main(argv) == 0
+    captured = capsys.readouterr()
+    assert "Table 2" in captured.out
+    assert "0 jobs run, 1 cache hits" in captured.err
+
+    status = service.client().status()
+    assert status["runtime"]["executed"] == 1
+    assert status["metrics"]["service.cache_hits"]["value"] == 1
+
+
+def test_run_all_rejects_server_with_local_instrumentation(tmp_path, capsys):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        run_all_main(
+            ["--server", "http://127.0.0.1:1", "--obs", str(tmp_path / "obs")]
+        )

@@ -1,0 +1,111 @@
+"""The dedup acceptance test from the issue: two *simultaneous*
+submissions of the same job hash against a live server produce exactly
+one execution and two identical payloads.
+
+Two client threads rendezvous on a barrier, then both POST the same
+job with ``wait``; the slow job body guarantees the second submission
+arrives while the first is still in flight, so it must attach rather
+than execute.  The execution count is read from an append-only counter
+file written by the job body itself — ground truth, independent of the
+service's own accounting (which is asserted separately).
+"""
+
+import threading
+
+ECHO = "tests.service.jobs:echo"
+SLOW = "tests.service.jobs:slow_echo"
+
+
+def metric_value(status, name):
+    return status["metrics"][name]["value"]
+
+
+def test_simultaneous_identical_submissions_share_one_execution(
+    live_service, tmp_path
+):
+    service = live_service(workers=2)
+    counter = tmp_path / "count"
+    params = {"value": 17, "seconds": 0.5, "counter_path": str(counter)}
+
+    barrier = threading.Barrier(2, timeout=10)
+    results = [None, None]
+    errors = []
+
+    def submit(slot):
+        client = service.client(tenant=f"tenant-{slot}")
+        barrier.wait()
+        try:
+            results[slot] = client.submit(SLOW, params=params, wait=True)
+        except Exception as exc:  # noqa: BLE001 - surfaced by the main thread
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=submit, args=(slot,)) for slot in (0, 1)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not errors, errors
+    assert all(result is not None for result in results)
+
+    # Exactly one execution of the job body...
+    assert counter.read_text().count("\n") == 1
+    # ...and two identical finished payloads.
+    first, second = results
+    assert first["state"] == second["state"] == "finished"
+    assert first["hash"] == second["hash"]
+    assert first["payload"] == second["payload"]
+    assert first["payload"]["value"] == 17
+
+    # The service saw both submissions but enqueued only one: the other
+    # attached in flight (or, if the race was lost, hit the cache) —
+    # either way the pool ran the job once.
+    status = service.client().status()
+    assert metric_value(status, "service.submissions") == 2
+    assert metric_value(status, "service.enqueued") == 1
+    assert (
+        metric_value(status, "service.dedup_hits")
+        + metric_value(status, "service.cache_hits")
+        == 1
+    )
+    assert metric_value(status, "service.executed") == 1
+    assert metric_value(status, "service.tenant.tenant-0.submissions") == 1
+    assert metric_value(status, "service.tenant.tenant-1.submissions") == 1
+
+
+def test_burst_of_duplicates_collapses_to_one_record(live_service, tmp_path):
+    """N > 2 concurrent duplicates all resolve to one record/payload."""
+    service = live_service(workers=2, queue_capacity=4)
+    counter = tmp_path / "count"
+    params = {"value": 4, "seconds": 0.3, "counter_path": str(counter)}
+
+    fan = 6
+    barrier = threading.Barrier(fan, timeout=10)
+    results = [None] * fan
+    errors = []
+
+    def submit(slot):
+        client = service.client()
+        barrier.wait()
+        try:
+            results[slot] = client.submit(SLOW, params=params, wait=True)
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=submit, args=(slot,)) for slot in range(fan)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not errors, errors
+
+    assert counter.read_text().count("\n") == 1
+    hashes = {result["hash"] for result in results}
+    payloads = {str(result["payload"]) for result in results}
+    assert len(hashes) == 1
+    assert len(payloads) == 1
+    record = service.client().job(hashes.pop())
+    assert record["submissions"] == fan

@@ -1,0 +1,210 @@
+"""HTTP end-to-end: the API surface against a live ephemeral-port server.
+
+Covers the acceptance paths from the issue: a cold submission executes
+and returns its payload, the repeat is served as a cache hit without a
+new execution, ``GET /jobs/<hash>/events`` streams
+queued → started → finished, and the error surface (400/403/404/405/
+413/429) answers with JSON bodies.
+"""
+
+import json
+import socket
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.client import ServiceError
+
+ECHO = "tests.service.jobs:echo"
+SLOW = "tests.service.jobs:slow_echo"
+BOOM = "tests.service.jobs:boom"
+
+
+def metric_value(status, name):
+    return status["metrics"][name]["value"]
+
+
+def test_submit_wait_cache_hit_and_status(live_service, tmp_path):
+    service = live_service()
+    client = service.client(tenant="ci")
+    counter = tmp_path / "count"
+
+    cold = client.submit(
+        ECHO, params={"value": 41, "counter_path": str(counter)}, wait=True
+    )
+    assert cold["status"] == "submitted"
+    assert cold["state"] == "finished"
+    assert cold["payload"]["value"] == 41
+    assert counter.read_text().count("\n") == 1
+
+    warm = client.submit(
+        ECHO, params={"value": 41, "counter_path": str(counter)}, wait=True
+    )
+    assert warm["status"] == "cache-hit"
+    assert warm["hash"] == cold["hash"]
+    assert warm["payload"] == cold["payload"]
+    assert counter.read_text().count("\n") == 1  # no second execution
+
+    status = client.status()
+    assert status["service"]["draining"] is False
+    assert metric_value(status, "service.submissions") == 2
+    assert metric_value(status, "service.enqueued") == 1
+    assert metric_value(status, "service.cache_hits") == 1
+    assert metric_value(status, "service.executed") == 1
+    assert metric_value(status, "service.tenant.ci.submissions") == 2
+
+
+def test_get_job_describes_lifecycle(live_service):
+    service = live_service()
+    client = service.client()
+    submitted = client.submit(ECHO, params={"value": 5}, label="demo", wait=True)
+    body = client.job(submitted["hash"])
+    assert body["state"] == "finished"
+    assert body["fn"] == ECHO
+    assert body["params"] == {"value": 5}
+    assert body["label"] == "demo"
+    assert body["payload"]["value"] == 5
+    assert body["submissions"] == 1
+    assert body["started_at"] >= body["submitted_at"]
+    assert body["finished_at"] >= body["started_at"]
+
+
+def test_events_stream_replays_queued_started_finished(live_service):
+    service = live_service()
+    client = service.client()
+    submitted = client.submit(SLOW, params={"value": 3, "seconds": 0.3})
+    assert submitted["state"] in ("queued", "running")
+
+    # Connect while the job is (most likely) still live: the stream
+    # replays history then tails until the record goes terminal.
+    events = [e["event"] for e in client.events(submitted["hash"])]
+    assert events[0] == "queued"
+    assert "started" in events
+    assert events[-1] == "finished"
+    assert events.index("queued") < events.index("started") < len(events) - 1
+
+    # A late subscriber gets the full history replay and an EOF.
+    replay = [e["event"] for e in client.events(submitted["hash"])]
+    assert replay == events
+
+
+def test_failed_job_reports_error(live_service):
+    service = live_service()
+    client = service.client()
+    body = client.submit(BOOM, params={"message": "blew up"}, wait=True)
+    assert body["state"] == "failed"
+    assert "blew up" in body["error"]
+    assert "payload" not in body
+
+
+def test_explicit_sweep_batch_with_wait(live_service):
+    service = live_service()
+    client = service.client()
+    body = client.sweep(
+        {
+            "jobs": [
+                {"fn": ECHO, "params": {"value": 1}, "label": "one"},
+                {"fn": ECHO, "params": {"value": 2}, "label": "two"},
+                {"fn": ECHO, "params": {"value": 1}, "label": "one"},
+            ]
+        },
+        wait=True,
+    )
+    assert body["counts"]["submitted"] == 2
+    # The duplicate either attached in flight or hit the finished record.
+    assert body["counts"]["attached"] + body["counts"]["cache-hit"] == 1
+    states = [item["state"] for item in body["jobs"]]
+    assert states == ["finished"] * 3
+    assert body["jobs"][0]["payload"]["value"] == 1
+    assert body["jobs"][2]["hash"] == body["jobs"][0]["hash"]
+
+
+def test_backpressure_answers_429_with_retry_after(live_service):
+    service = live_service(workers=1, queue_capacity=1)
+    client = service.client()
+    running = client.submit(SLOW, params={"value": 1, "seconds": 3.0})
+    # Wait until the slot pulled it off the queue, freeing the capacity.
+    deadline = time.monotonic() + 5.0
+    while client.job(running["hash"])["state"] != "running":
+        assert time.monotonic() < deadline
+        time.sleep(0.02)
+    client.submit(SLOW, params={"value": 2, "seconds": 0.01})
+    with pytest.raises(ServiceError) as exc_info:
+        # _request skips the client's 429 pacing: surface the raw 429.
+        client._request(
+            "POST", "/jobs", {"fn": SLOW, "params": {"value": 3, "seconds": 0.01}}
+        )
+    assert exc_info.value.status == 429
+    assert exc_info.value.retry_after == service.config.retry_after
+
+
+def test_error_surface(live_service):
+    service = live_service()
+    client = service.client()
+
+    with pytest.raises(ServiceError) as exc_info:
+        client.submit("os:system", params={"command": "true"})
+    assert exc_info.value.status == 403
+
+    with pytest.raises(ServiceError) as exc_info:
+        client.submit("not-an-import-path")
+    assert exc_info.value.status == 400
+
+    with pytest.raises(ServiceError) as exc_info:
+        client.job("a" * 16)  # well-formed hash that was never submitted
+    assert exc_info.value.status == 404
+
+    with pytest.raises(ServiceError) as exc_info:
+        client._request("GET", "/nope")
+    assert exc_info.value.status == 404
+
+    with pytest.raises(ServiceError) as exc_info:
+        client._request("GET", "/jobs")  # wrong method on a real route
+    assert exc_info.value.status == 405
+
+
+def _raw_post(service, path, raw_body):
+    request = urllib.request.Request(
+        service.url + path,
+        data=raw_body,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    return urllib.request.urlopen(request, timeout=10)
+
+
+def test_malformed_and_nonfinite_json_rejected(live_service):
+    service = live_service()
+
+    with pytest.raises(urllib.error.HTTPError) as exc_info:
+        _raw_post(service, "/jobs", b"{not json")
+    assert exc_info.value.code == 400
+
+    # json.dumps would happily emit NaN with default settings; the server
+    # must reject the token so identical submissions can't hash apart.
+    raw = b'{"fn": "tests.service.jobs:echo", "params": {"value": NaN}}'
+    with pytest.raises(urllib.error.HTTPError) as exc_info:
+        _raw_post(service, "/jobs", raw)
+    assert exc_info.value.code == 400
+    assert "NaN" in json.loads(exc_info.value.read().decode("utf-8"))["error"]
+
+
+def test_oversized_body_rejected(live_service):
+    service = live_service(max_body_bytes=1024)
+    padding = "x" * 4096
+    raw = json.dumps({"fn": ECHO, "params": {"value": padding}}).encode()
+    with pytest.raises(urllib.error.HTTPError) as exc_info:
+        _raw_post(service, "/jobs", raw)
+    assert exc_info.value.code == 413
+
+
+def test_healthz_and_malformed_request_line(live_service):
+    service = live_service()
+    assert service.client().healthy()
+
+    with socket.create_connection(("127.0.0.1", service.port), timeout=5) as s:
+        s.sendall(b"garbage\r\n\r\n")
+        response = s.recv(4096)
+    assert b"400" in response.split(b"\r\n", 1)[0]
