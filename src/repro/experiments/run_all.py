@@ -148,6 +148,15 @@ def main(argv: "list[str] | None" = None) -> int:
         help="append structured per-job events to this JSONL file",
     )
     parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="journal completed jobs to this JSONL file and resume "
+        "from it: a killed run restarted with the same checkpoint "
+        "recomputes only the jobs that were in flight (works even "
+        "with --no-cache)",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress per-job progress lines on stderr",
@@ -177,10 +186,11 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
-    if args.server and (args.obs or args.profile):
+    if args.server and (args.obs or args.profile or args.checkpoint):
         parser.error(
-            "--server executes on the remote service; --obs/--profile "
-            "instrument local workers and cannot be combined with it"
+            "--server executes on the remote service; --obs/--profile/"
+            "--checkpoint instrument local execution and cannot be "
+            "combined with it"
         )
     selected = args.only or list(_EXPERIMENTS)
     profile_dir = None
@@ -210,6 +220,7 @@ def main(argv: "list[str] | None" = None) -> int:
             runlog=args.runlog,
             quiet=args.quiet,
             profile_dir=profile_dir,
+            checkpoint=args.checkpoint,
         )
     if args.obs:
         from pathlib import Path

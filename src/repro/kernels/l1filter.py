@@ -34,18 +34,22 @@ controller observes (section 4.2).
 from __future__ import annotations
 
 import os
+import sys
 import tempfile
+import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.caches.base import EvictedLine
 from repro.caches.fully_assoc import FullyAssociativeCache
 from repro.caches.hierarchy import CoreCacheConfig
 from repro.caches.set_assoc import SetAssociativeCache
-from repro.runtime.cache import ResultCache
+from repro.runtime.cache import QUARANTINE_DIR, ResultCache
+from repro.runtime.health import health_counter
 from repro.runtime.job import Job
 
 #: miss-stream record kinds
@@ -266,6 +270,8 @@ class L1FilterRecord:
                     lines=self.lines,
                     kinds=self.kinds,
                 )
+            faults.corrupt_file("sidecar.save.bytes", handle.name)
+            faults.fire("sidecar.save")
             os.replace(handle.name, path)
         except BaseException:
             try:
@@ -386,16 +392,51 @@ def ensure_l1_filter(
     if sidecar.is_file():
         try:
             return L1FilterRecord.load(sidecar), True
-        except (OSError, ValueError, KeyError):
-            pass  # corrupt/stale sidecar: rebuild below
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+            # Corrupt or stale sidecar (torn write survived a crash, bit
+            # rot, old record version): quarantine it next to corrupt
+            # cache artifacts, count the fault, rebuild below.  Because
+            # saves are atomic this is never hit by a concurrent
+            # *in-progress* write — only by bytes that were bad on disk.
+            _quarantine_sidecar(cache, sidecar, exc)
+            health_counter("recovery.sidecar.rebuilt").inc()
     spec = workload(name, scale=scale, seed=seed)
     record = build_l1_filter(*spec.arrays())
     try:
         record.save(sidecar)
+    except OSError as exc:
+        # Read-only/full cache dir: compute-through, like the cache.
+        health_counter("fault.sidecar.write_failed").inc()
+        print(
+            f"[l1filter] sidecar write failed ({exc}); "
+            "serving the in-memory record",
+            file=sys.stderr,
+        )
+    else:
         cache.put(job, _record_payload(record))
-    except OSError:
-        pass  # read-only cache dir: serve the in-memory record
     return record, False
+
+
+def _quarantine_sidecar(
+    cache: ResultCache, sidecar: Path, exc: Exception
+) -> None:
+    health_counter("fault.sidecar.corrupt").inc()
+    target = (
+        cache.root
+        / QUARANTINE_DIR
+        / f"{sidecar.parent.name}-{sidecar.name}.corrupt"
+    )
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(sidecar, target)
+        where = f"quarantined to {target}"
+    except OSError:
+        where = "left in place (quarantine move failed)"
+    print(
+        f"[l1filter] corrupt sidecar {sidecar.name}: {exc}; {where}; "
+        "rebuilding",
+        file=sys.stderr,
+    )
 
 
 def l1_filter_job(

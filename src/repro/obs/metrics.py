@@ -203,6 +203,10 @@ class MetricsRegistry:
     def names(self) -> "list[str]":
         return sorted(self._instruments)
 
+    def clear(self) -> None:
+        """Drop every instrument (long-lived registries, test resets)."""
+        self._instruments.clear()
+
     def to_dict(self) -> "dict[str, object]":
         return {
             name: instrument.to_dict()

@@ -18,7 +18,9 @@ Command line: ``python -m repro.runtime {run,status,clear-cache}``.
 """
 
 from repro.runtime.cache import ResultCache, code_fingerprint
+from repro.runtime.checkpoint import SweepCheckpoint
 from repro.runtime.events import EventBus, JobEvent, JsonlSink, StderrSink
+from repro.runtime.health import health_counter, health_snapshot
 from repro.runtime.job import Job, JobError, execute_job, resolve_job
 from repro.runtime.scheduler import (
     ExperimentRuntime,
@@ -41,9 +43,12 @@ __all__ = [
     "RunStats",
     "RuntimeConfig",
     "StderrSink",
+    "SweepCheckpoint",
     "code_fingerprint",
     "execute_job",
     "failed_outcomes",
+    "health_counter",
+    "health_snapshot",
     "payloads",
     "resolve_job",
 ]

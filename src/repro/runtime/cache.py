@@ -8,6 +8,18 @@ experiment set is pure cache hits.  Writes are atomic
 an interrupted run leaves only complete artifacts behind and the next
 invocation resumes from them.
 
+Integrity and degradation (the properties the chaos suite enforces):
+
+* every artifact embeds a SHA-256 **checksum** of its payload; a read
+  that is unparseable, unreadable, or checksum-mismatched is
+  **quarantined** (moved to ``<root>/quarantine/``) and reported as a
+  miss — corruption becomes a recompute plus a
+  :mod:`~repro.runtime.health` counter, never a crash or a silently
+  wrong result;
+* a write that fails (full disk, read-only cache dir) downgrades the
+  cache to **compute-through**: the run keeps its results and keeps
+  going, it just stops persisting — again counted, never fatal.
+
 The cache root defaults to ``$REPRO_CACHE_DIR`` or ``.repro-cache`` in
 the working directory.
 """
@@ -18,6 +30,7 @@ import hashlib
 import json
 import os
 import shutil
+import sys
 import tempfile
 import time
 from dataclasses import dataclass
@@ -25,11 +38,22 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Iterator
 
+from repro import faults
+from repro.runtime.health import health_counter
 from repro.runtime.job import Job, canonical_json
 
 #: environment variable overriding the default cache root
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 DEFAULT_CACHE_DIR = ".repro-cache"
+#: where corrupt artifacts are moved for post-mortem inspection
+QUARANTINE_DIR = "quarantine"
+
+
+def payload_checksum(payload: "dict[str, object]") -> str:
+    """Content checksum of one payload (over its canonical JSON)."""
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")
+    ).hexdigest()[:32]
 
 
 @lru_cache(maxsize=1)
@@ -77,6 +101,9 @@ class ResultCache:
     ) -> None:
         self.root = Path(root) if root is not None else default_cache_root()
         self.code_version = code_version or code_fingerprint()
+        #: set after the first failed write: the cache has degraded to
+        #: compute-through (results are correct, just not persisted)
+        self.degraded = False
 
     # -- paths ----------------------------------------------------------
 
@@ -92,24 +119,75 @@ class ResultCache:
     def get(self, job: Job) -> "dict[str, object] | None":
         """The cached payload for ``job``, or ``None`` on a miss.
 
-        Corrupt artifacts (partial writes from a hard kill predating
-        the atomic-rename scheme, disk trouble) count as misses.
+        Corruption never propagates: an artifact that is unreadable,
+        truncated, unparseable, structurally wrong, or whose payload
+        fails its checksum is quarantined (see :meth:`_quarantine`) and
+        reported as a plain miss — the caller recomputes, a
+        ``fault.cache.*`` health counter ticks, and the bad bytes are
+        kept out of the hot path but preserved for inspection.
         """
         path = self.path_for(job)
         try:
-            with path.open("r", encoding="utf-8") as handle:
-                artifact = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+            raw = path.read_bytes()
+        except FileNotFoundError:
             return None
-        payload = artifact.get("payload")
-        return payload if isinstance(payload, dict) else None
+        except OSError as exc:
+            health_counter("fault.cache.read_failed").inc()
+            self._warn(f"unreadable artifact {path.name}: {exc}")
+            return None
+        try:
+            artifact = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._quarantine(path, f"undecodable artifact: {exc}")
+            return None
+        payload = (
+            artifact.get("payload") if isinstance(artifact, dict) else None
+        )
+        if not isinstance(payload, dict):
+            self._quarantine(path, "artifact has no payload object")
+            return None
+        checksum = artifact.get("checksum")
+        if checksum != payload_checksum(payload):
+            self._quarantine(
+                path,
+                f"payload checksum mismatch (recorded {checksum!r})",
+            )
+            return None
+        return payload
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move one corrupt artifact aside and count the fault.
+
+        The move is best effort (a read-only cache cannot relocate the
+        file, which is fine — the artifact already reads as a miss);
+        quarantined files keep their generation in the name and a
+        ``.corrupt`` suffix so no cache scan ever mistakes them for
+        live artifacts.
+        """
+        health_counter("fault.cache.corrupt_artifact").inc()
+        target = (
+            self.root
+            / QUARANTINE_DIR
+            / f"{path.parent.name}-{path.name}.corrupt"
+        )
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+            where = f"quarantined to {target}"
+        except OSError:
+            where = "left in place (quarantine move failed)"
+        self._warn(f"corrupt artifact {path.name}: {reason}; {where}")
+
+    @staticmethod
+    def _warn(message: str) -> None:
+        print(f"[cache] {message}", file=sys.stderr)
 
     def put(
         self,
         job: Job,
         payload: "dict[str, object]",
         duration: "float | None" = None,
-    ) -> Path:
+    ) -> "Path | None":
         """Atomically publish one finished job's payload.
 
         Safe under concurrent multi-process writers: each writer stages
@@ -118,7 +196,33 @@ class ResultCache:
         makes the artifact visible in one atomic step — readers see
         either nothing or a complete file, and the last writer of the
         same hash wins with byte-identical content.
+
+        A failed write (``ENOSPC``, read-only cache dir, permissions)
+        returns ``None`` instead of raising: losing the *artifact*
+        must never lose the *result*, so the cache degrades to
+        compute-through and the run continues.  The first failure
+        warns and sets :attr:`degraded`; every failure ticks
+        ``fault.cache.write_failed``.
         """
+        try:
+            return self._put(job, payload, duration)
+        except OSError as exc:
+            health_counter("fault.cache.write_failed").inc()
+            if not self.degraded:
+                self.degraded = True
+                self._warn(
+                    f"write failed ({exc}); degrading to compute-through "
+                    "(results stay correct but are not persisted)"
+                )
+            return None
+
+    def _put(
+        self,
+        job: Job,
+        payload: "dict[str, object]",
+        duration: "float | None",
+    ) -> Path:
+        faults.fire("cache.put")
         path = self.path_for(job)
         path.parent.mkdir(parents=True, exist_ok=True)
         artifact = {
@@ -129,12 +233,14 @@ class ResultCache:
             "code_version": self.code_version,
             "created": time.time(),
             "duration": duration,
+            "checksum": payload_checksum(payload),
             "payload": payload,
         }
-        body = canonical_json(artifact)
+        body = faults.mutate(
+            "cache.put.bytes", canonical_json(artifact).encode("utf-8")
+        )
         handle = tempfile.NamedTemporaryFile(
-            "w",
-            encoding="utf-8",
+            "wb",
             dir=str(path.parent),
             prefix=".tmp-",
             suffix=".json",
@@ -229,6 +335,16 @@ class ResultCache:
         cutoff = now - older_than_days * 86400.0
         for generation in sorted(self.root.iterdir()):
             if not generation.is_dir():
+                continue
+            if generation.name == QUARANTINE_DIR:
+                # Quarantined corruption is kept for inspection, not
+                # forever: same age horizon, never counted as artifacts.
+                for path in generation.glob("*.corrupt"):
+                    try:
+                        if path.stat().st_mtime < cutoff:
+                            _unlink_quietly(path)
+                    except OSError:
+                        continue
                 continue
             for path in generation.glob("*.json"):
                 try:

@@ -33,14 +33,18 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.connection
 import os
+import random
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
+from repro import faults
 from repro.runtime.cache import ResultCache
+from repro.runtime.checkpoint import SweepCheckpoint
 from repro.runtime.events import EventBus, JobEvent, StderrSink
+from repro.runtime.health import health_counter
 from repro.runtime.job import REFERENCES_KEY, Job, JobError, execute_job
 
 #: outcome states
@@ -58,6 +62,9 @@ class RuntimeConfig:
     start_method: str = "fork" if os.name == "posix" else "spawn"
     poll_interval: float = 0.05  #: seconds between liveness/timeout checks
     profile_dir: "str | None" = None  #: dump per-job cProfile stats here
+    retry_backoff: float = 0.1  #: base delay before a crash retry, seconds
+    retry_backoff_cap: float = 5.0  #: backoff ceiling, seconds
+    kill_grace: float = 5.0  #: SIGTERM→SIGKILL escalation window, seconds
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -66,6 +73,26 @@ class RuntimeConfig:
             raise ValueError(f"retries must be >= 0, got {self.retries}")
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.retry_backoff < 0 or self.retry_backoff_cap < 0:
+            raise ValueError("retry backoff values must be >= 0")
+        if self.kill_grace < 0:
+            raise ValueError(f"kill_grace must be >= 0, got {self.kill_grace}")
+
+    def retry_delay(self, job_hash: str, attempt: int) -> float:
+        """Backoff before relaunching a crashed job's next attempt.
+
+        Exponential in the attempt number, capped, with deterministic
+        jitter derived from the job hash — retries of *different* jobs
+        spread out (no thundering herd after a correlated crash) while
+        the same job retries identically across runs.
+        """
+        if self.retry_backoff <= 0:
+            return 0.0
+        base = min(
+            self.retry_backoff_cap, self.retry_backoff * (2 ** (attempt - 1))
+        )
+        jitter = random.Random(f"{job_hash}/{attempt}").uniform(0.5, 1.0)
+        return base * jitter
 
 
 @dataclass(frozen=True)
@@ -138,6 +165,7 @@ def _execute(job: Job, profile_dir: "str | None"):
     even when the job raises — a slow *failing* job is exactly the one
     worth profiling.
     """
+    faults.fire("runtime.job.start")
     if profile_dir is None:
         return execute_job(job)
     import cProfile
@@ -159,6 +187,7 @@ def _execute(job: Job, profile_dir: "str | None"):
 def _worker_main(job: Job, conn, profile_dir: "str | None" = None) -> None:
     """Worker-process entry: run the job, ship the result, exit."""
     try:
+        faults.fire("runtime.worker.start")
         payload, duration = _execute(job, profile_dir)
         conn.send(("ok", payload, duration))
     except BaseException as exc:  # noqa: BLE001 - must cross the pipe
@@ -187,10 +216,12 @@ class ExperimentRuntime:
         config: "RuntimeConfig | None" = None,
         cache: "ResultCache | None" = None,
         bus: "EventBus | None" = None,
+        checkpoint: "SweepCheckpoint | None" = None,
     ) -> None:
         self.config = config or RuntimeConfig()
         self.cache = cache if cache is not None else ResultCache()
         self.bus = bus if bus is not None else EventBus([StderrSink()])
+        self.checkpoint = checkpoint
         self.stats = RunStats()
         self._stats_lock = threading.Lock()
 
@@ -239,8 +270,10 @@ class ExperimentRuntime:
 
     def close(self) -> None:
         """Flush and close every event sink (idempotent; sinks re-open
-        lazily if the runtime is used again)."""
+        lazily if the runtime is used again) and the checkpoint."""
         self.bus.close()
+        if self.checkpoint is not None:
+            self.checkpoint.close()
 
     # -- shared helpers -------------------------------------------------
 
@@ -250,6 +283,17 @@ class ExperimentRuntime:
         )
 
     def _cached_outcome(self, job: Job) -> "JobOutcome | None":
+        # The sweep checkpoint is consulted first: it works even with
+        # the cache disabled, which is what bounds a killed driver's
+        # re-run to only the jobs that were in flight.
+        if self.checkpoint is not None:
+            payload = self.checkpoint.get(job)
+            if payload is not None:
+                health_counter("recovery.checkpoint.hits").inc()
+                self._emit(
+                    "cache-hit", job, references=_references_of(payload)
+                )
+                return JobOutcome(job=job, status=CACHED, payload=payload)
         if not self.config.use_cache:
             return None
         payload = self.cache.get(job)
@@ -265,6 +309,8 @@ class ExperimentRuntime:
     ) -> JobOutcome:
         if self.config.use_cache:
             self.cache.put(job, payload, duration=duration)
+        if self.checkpoint is not None:
+            self.checkpoint.record(job, payload, duration=duration)
         self._emit(
             "finished",
             job,
@@ -339,24 +385,22 @@ class ExperimentRuntime:
     ) -> "list[JobOutcome]":
         context = multiprocessing.get_context(self.config.start_method)
         outcomes: "list[JobOutcome | None]" = [None] * len(jobs)
-        pending: "deque[tuple[int, int]]" = deque()  # (index, attempt)
+        # (index, attempt, not_before): retried jobs carry a backoff
+        # deadline; fresh jobs are launchable immediately.
+        pending: "deque[tuple[int, int, float]]" = deque()
         for i, job in enumerate(jobs):
             cached = self._cached_outcome(job)
             if cached is not None:
                 outcomes[i] = cached
             else:
-                pending.append((i, 1))
+                pending.append((i, 1, 0.0))
         running: "list[_Running]" = []
         try:
             while pending or running:
                 if cancel is not None and cancel():
                     self._drain_interrupted(jobs, outcomes, pending, running)
                     break
-                while pending and len(running) < self.config.jobs:
-                    index, attempt = pending.popleft()
-                    running.append(
-                        self._launch(context, jobs[index], index, attempt)
-                    )
+                self._launch_ready(context, jobs, pending, running)
                 self._collect(jobs, outcomes, pending, running)
         except KeyboardInterrupt:
             self._drain_interrupted(jobs, outcomes, pending, running)
@@ -367,11 +411,35 @@ class ExperimentRuntime:
             for job, outcome in zip(jobs, outcomes)
         ]
 
+    def _launch_ready(
+        self,
+        context,
+        jobs: "Sequence[Job]",
+        pending: "deque[tuple[int, int, float]]",
+        running: "list[_Running]",
+    ) -> None:
+        """Fill free worker slots with pending jobs whose backoff (if
+        any) has expired; jobs still backing off rotate to the tail so
+        they never block launchable work behind them."""
+        now = time.monotonic()
+        launched = True
+        while launched and pending and len(running) < self.config.jobs:
+            launched = False
+            for _ in range(len(pending)):
+                index, attempt, not_before = pending.popleft()
+                if not_before <= now:
+                    running.append(
+                        self._launch(context, jobs[index], index, attempt)
+                    )
+                    launched = True
+                    break
+                pending.append((index, attempt, not_before))
+
     def _drain_interrupted(
         self,
         jobs: "Sequence[Job]",
         outcomes: "list[JobOutcome | None]",
-        pending: "deque[tuple[int, int]]",
+        pending: "deque[tuple[int, int, float]]",
         running: "list[_Running]",
     ) -> None:
         """Terminate live workers and mark everything unfinished
@@ -384,7 +452,7 @@ class ExperimentRuntime:
                 status=INTERRUPTED,
                 attempts=slot.attempt,
             )
-        for index, attempt in pending:
+        for index, attempt, _not_before in pending:
             self._emit("interrupted", jobs[index])
             outcomes[index] = JobOutcome(
                 job=jobs[index], status=INTERRUPTED, attempts=attempt
@@ -404,6 +472,11 @@ class ExperimentRuntime:
         )
         process.start()
         sender.close()  # parent keeps only the read end
+        if faults.armed("runtime.worker.kill"):
+            # Scripted external SIGKILL (the OOM-killer stand-in): the
+            # parent counts launches, so "kill the Nth worker launch"
+            # fires exactly once and the crash-retry path recovers.
+            process.kill()
         self._emit("started", job, attempt=attempt)
         return _Running(
             index=index, attempt=attempt, process=process, conn=receiver
@@ -413,13 +486,19 @@ class ExperimentRuntime:
         self,
         jobs: "Sequence[Job]",
         outcomes: "list[JobOutcome | None]",
-        pending: "deque[tuple[int, int]]",
+        pending: "deque[tuple[int, int, float]]",
         running: "list[_Running]",
     ) -> None:
         """One poll round: reap results, crashes, and timeouts."""
-        ready = multiprocessing.connection.wait(
-            [slot.conn for slot in running], timeout=self.config.poll_interval
-        )
+        if running:
+            ready = multiprocessing.connection.wait(
+                [slot.conn for slot in running],
+                timeout=self.config.poll_interval,
+            )
+        else:
+            # Everything pending is backing off: idle one poll tick.
+            time.sleep(self.config.poll_interval)
+            ready = []
         ready_set = set(ready)
         now = time.monotonic()
         still_running: "list[_Running]" = []
@@ -433,6 +512,9 @@ class ExperimentRuntime:
                 self.config.timeout is not None
                 and now - slot.started > self.config.timeout
             ):
+                # The hung-worker watchdog: _kill escalates SIGTERM →
+                # SIGKILL if the worker ignores the polite signal.
+                health_counter("fault.worker.timeout").inc()
                 self._kill(slot)
                 outcomes[slot.index] = self._fail(
                     job,
@@ -448,7 +530,7 @@ class ExperimentRuntime:
         self,
         job: Job,
         slot: _Running,
-        pending: "deque[tuple[int, int]]",
+        pending: "deque[tuple[int, int, float]]",
     ) -> "JobOutcome | None":
         """A worker's pipe is readable: result, error, or crash (EOF).
 
@@ -461,16 +543,21 @@ class ExperimentRuntime:
         self._kill(slot)  # reap the process either way
         if message is None:
             exit_code = slot.process.exitcode
+            health_counter("fault.worker.crash").inc()
             if slot.attempt <= self.config.retries:
                 with self._stats_lock:
                     self.stats.crash_retries += 1
+                health_counter("recovery.worker.crash_retried").inc()
                 self._emit(
                     "retried",
                     job,
                     attempt=slot.attempt,
                     error=f"worker died (exit code {exit_code})",
                 )
-                pending.append((slot.index, slot.attempt + 1))
+                not_before = time.monotonic() + self.config.retry_delay(
+                    job.hash, slot.attempt
+                )
+                pending.append((slot.index, slot.attempt + 1, not_before))
                 return None
             return self._fail(
                 job,
@@ -482,12 +569,23 @@ class ExperimentRuntime:
             return self._finish(job, payload, duration, attempt=slot.attempt)
         return self._fail(job, message[1], attempt=slot.attempt)
 
-    @staticmethod
-    def _kill(slot: _Running) -> None:
+    def _kill(self, slot: _Running) -> None:
+        """Reap one worker, escalating politely: close the pipe,
+        SIGTERM, wait ``kill_grace``, then SIGKILL a worker that
+        ignored the termination (stuck in native code, masked
+        signals) — a hung worker can slow a sweep down, never wedge
+        it."""
         slot.conn.close()
-        if slot.process.is_alive():
-            slot.process.terminate()
-        slot.process.join(timeout=5.0)
+        process = slot.process
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=self.config.kill_grace)
+            if process.is_alive():
+                health_counter("fault.worker.kill_escalated").inc()
+                process.kill()
+                process.join(timeout=5.0)
+        else:
+            process.join(timeout=5.0)
 
     def _terminate_all(self, running: "Sequence[_Running]") -> None:
         for slot in running:
@@ -508,6 +606,7 @@ def runtime_from_args(
     runlog: "str | None" = None,
     quiet: bool = False,
     profile_dir: "str | None" = None,
+    checkpoint: "str | None" = None,
 ) -> ExperimentRuntime:
     """Build a runtime from CLI-ish options (shared by both CLIs)."""
     from repro.runtime.events import JsonlSink
@@ -524,4 +623,5 @@ def runtime_from_args(
         config=config,
         cache=ResultCache(root=cache_dir) if cache_dir else ResultCache(),
         bus=EventBus(sinks),
+        checkpoint=SweepCheckpoint(checkpoint) if checkpoint else None,
     )

@@ -30,7 +30,14 @@ Command line: ``python -m repro.service {serve,submit,sweep,status}``.
 """
 
 from repro.service.broker import BackpressureError, DrainingError, JobBroker
-from repro.service.client import RemoteRuntime, ServiceClient, ServiceError
+from repro.service.client import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RemoteRuntime,
+    RetryBudgetError,
+    ServiceClient,
+    ServiceError,
+)
 from repro.service.config import ServiceConfig
 from repro.service.metrics import ServiceMetrics
 from repro.service.records import JobRecord, Submission
@@ -38,10 +45,13 @@ from repro.service.server import ServiceServer, run_service
 
 __all__ = [
     "BackpressureError",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "DrainingError",
     "JobBroker",
     "JobRecord",
     "RemoteRuntime",
+    "RetryBudgetError",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",

@@ -37,8 +37,10 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
+from repro import faults
 from repro.runtime.cache import ResultCache
 from repro.runtime.events import EventBus, JobEvent, JsonlSink, StderrSink, event_record
+from repro.runtime.health import health_snapshot
 from repro.runtime.job import Job
 from repro.runtime.scheduler import (
     CACHED,
@@ -160,6 +162,7 @@ class JobBroker:
         blocks: cache hits answer from the record table or one small
         artifact read, everything else lands on the queue.
         """
+        faults.fire("service.broker.submit")
         if self._draining:
             raise DrainingError("service is draining")
         record = self._records.get(job.hash)
@@ -416,4 +419,5 @@ class JobBroker:
                 "wall_time": stats.wall_time,
             },
             "metrics": self.metrics.snapshot(),
+            "health": health_snapshot(),
         }

@@ -46,6 +46,7 @@ def _config_from_args(args: argparse.Namespace) -> ServiceConfig:
         runlog=args.runlog,
         obs_dir=args.obs,
         quiet=args.quiet,
+        request_timeout=args.request_timeout,
         fn_prefixes=tuple(args.allow_fn) if args.allow_fn else ("repro.",),
     )
 
@@ -166,6 +167,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="on drain, export service metrics + Chrome trace here",
     )
     serve.add_argument("--quiet", action="store_true")
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="seconds a peer gets to deliver a complete request before "
+        "the connection is answered 408 and closed (slow-loris bound)",
+    )
     serve.add_argument(
         "--allow-fn",
         action="append",

@@ -1,10 +1,16 @@
 """Stdlib client for a running ``repro.service`` instance.
 
 :class:`ServiceClient` wraps the HTTP API (``urllib.request``, no
-dependencies) with backpressure-aware submission: a 429 is retried
-after the server's ``Retry-After`` until ``deadline`` expires, so a
-burst of submissions against a small queue degrades into pacing, not
-failure.
+dependencies) with backpressure-aware submission: a 429/503 is retried
+after the server's ``Retry-After`` — capped at ``backoff_cap`` and
+jittered so a herd of clients decorrelates — and transport errors
+(connection refused/reset, a dropped socket) retry with exponential
+backoff.  Every retry draws from one per-call budget: when it runs
+out the caller gets a typed :class:`RetryBudgetError` carrying the
+last underlying failure, never an uncapped sleep.  A small
+:class:`CircuitBreaker` stops hammering a peer that has failed
+``threshold`` times in a row until ``cooldown`` passes
+(:class:`CircuitOpenError` while open).
 
 :class:`RemoteRuntime` is the seam the experiment drivers use: it
 quacks like :class:`~repro.runtime.scheduler.ExperimentRuntime`
@@ -16,12 +22,15 @@ changes.
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 from typing import Iterator, Sequence
 
+from repro import faults
 from repro.runtime.events import EventBus, JobEvent, StderrSink
 from repro.runtime.job import Job
 from repro.runtime.scheduler import (
@@ -48,6 +57,93 @@ class ServiceError(RuntimeError):
         self.retry_after = retry_after
 
 
+class RetryBudgetError(ServiceError):
+    """Every retry in the per-call budget was spent without success.
+
+    Carries the last underlying failure in ``last_error`` so callers
+    (and chaos tests) can see *why* the budget ran out.
+    """
+
+    def __init__(self, attempts: int, last_error: ServiceError) -> None:
+        super().__init__(
+            last_error.status,
+            f"retry budget exhausted after {attempts} attempts "
+            f"(last: {last_error})",
+            retry_after=last_error.retry_after,
+        )
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class CircuitOpenError(ServiceError):
+    """The circuit breaker is open: the peer failed repeatedly and the
+    cooldown has not elapsed, so the call was not even attempted."""
+
+    def __init__(self, remaining: float) -> None:
+        super().__init__(
+            0,
+            f"circuit open: retry in {remaining:.1f}s",
+            retry_after=remaining,
+        )
+        self.remaining = remaining
+
+
+class CircuitBreaker:
+    """Trivial consecutive-failure breaker.
+
+    ``threshold`` consecutive recorded failures open the circuit for
+    ``cooldown`` seconds; while open, :meth:`check` raises
+    :class:`CircuitOpenError`.  After the cooldown one trial call is
+    let through (half-open): its success closes the circuit, its
+    failure re-opens it for another cooldown.
+    """
+
+    def __init__(self, threshold: int = 5, cooldown: float = 10.0) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._consecutive = 0
+        self._opened_at: "float | None" = None
+
+    @property
+    def open(self) -> bool:
+        return (
+            self._opened_at is not None
+            and time.monotonic() - self._opened_at < self.cooldown
+        )
+
+    def check(self) -> None:
+        """Raise :class:`CircuitOpenError` while the circuit is open."""
+        if self._opened_at is None:
+            return
+        elapsed = time.monotonic() - self._opened_at
+        if elapsed < self.cooldown:
+            raise CircuitOpenError(self.cooldown - elapsed)
+        # Half-open: allow this attempt; reset the clock so concurrent
+        # callers don't all pile in while the trial is in flight.
+        self._opened_at = None
+
+    def record_success(self) -> None:
+        self._consecutive = 0
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        self._consecutive += 1
+        if self._consecutive >= self.threshold:
+            self._opened_at = time.monotonic()
+
+
+#: transport faults worth retrying (the request may never have reached
+#: the server, or died mid-flight)
+_TRANSPORT_ERRORS = (
+    urllib.error.URLError,
+    ConnectionError,
+    http.client.HTTPException,
+    TimeoutError,
+)
+
+
 class ServiceClient:
     """Talk to one service instance."""
 
@@ -56,10 +152,31 @@ class ServiceClient:
         base_url: str,
         tenant: "str | None" = None,
         timeout: float = 60.0,
+        max_retries: int = 8,
+        backoff: float = 0.25,
+        backoff_cap: float = 10.0,
+        breaker: "CircuitBreaker | None" = None,
+        jitter_seed: "int | None" = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.tenant = tenant
         self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.breaker = breaker
+        self._rng = random.Random(jitter_seed)
+
+    def _retry_delay(self, attempt: int, retry_after: "float | None") -> float:
+        """Sleep before retry ``attempt`` (1-based): the server's
+        ``Retry-After`` when it sent one, else exponential backoff —
+        either way capped at ``backoff_cap`` and jittered down by up to
+        half so retrying clients decorrelate."""
+        if retry_after is not None:
+            base = retry_after
+        else:
+            base = self.backoff * (2 ** (attempt - 1))
+        return min(base, self.backoff_cap) * self._rng.uniform(0.5, 1.0)
 
     # -- transport ------------------------------------------------------
 
@@ -78,6 +195,7 @@ class ServiceClient:
             self.base_url + path, data=data, headers=headers, method=method
         )
         try:
+            faults.fire("client.request")
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
                 return json.loads(resp.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
@@ -92,23 +210,47 @@ class ServiceClient:
                 message or exc.reason,
                 retry_after=float(retry_after) if retry_after else None,
             ) from exc
-        except urllib.error.URLError as exc:
-            raise ServiceError(0, f"cannot reach {self.base_url}: {exc.reason}")
+        except _TRANSPORT_ERRORS as exc:
+            reason = getattr(exc, "reason", None) or exc
+            raise ServiceError(
+                0, f"cannot reach {self.base_url}: {reason}"
+            ) from exc
 
     def _submit_paced(
         self, path: str, body: "dict[str, object]", deadline: "float | None"
     ) -> "dict[str, object]":
-        """POST with 429/503 pacing until ``deadline`` (seconds)."""
+        """POST with retry: 429/503 pace on (capped, jittered)
+        ``Retry-After``, transport errors back off exponentially.
+
+        Stops on whichever comes first — a non-retryable status, the
+        wall-clock ``deadline``, or the ``max_retries`` budget (typed
+        :class:`RetryBudgetError`).  An open circuit breaker raises
+        :class:`CircuitOpenError` without touching the network.
+        """
         limit = time.monotonic() + deadline if deadline is not None else None
+        attempt = 0
         while True:
+            if self.breaker is not None:
+                self.breaker.check()
             try:
-                return self._request("POST", path, body)
+                result = self._request("POST", path, body)
             except ServiceError as exc:
-                if exc.status not in (429, 503) or exc.retry_after is None:
+                retryable = exc.status in (0, 429, 503)
+                if self.breaker is not None and retryable:
+                    self.breaker.record_failure()
+                if not retryable:
                     raise
-                if limit is not None and time.monotonic() >= limit:
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise RetryBudgetError(attempt, exc) from exc
+                delay = self._retry_delay(attempt, exc.retry_after)
+                if limit is not None and time.monotonic() + delay >= limit:
                     raise
-                time.sleep(exc.retry_after)
+                time.sleep(delay)
+            else:
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                return result
 
     # -- API ------------------------------------------------------------
 

@@ -32,6 +32,7 @@ class ServiceConfig:
     obs_dir: "str | None" = None  #: export service metrics + trace here
     quiet: bool = False  #: suppress per-job stderr progress lines
     max_body_bytes: int = 1 << 20  #: request-body cap (413 beyond)
+    request_timeout: float = 30.0  #: seconds to receive a full request (408)
     max_records: int = 4096  #: finished records kept in memory (LRU)
     fn_prefixes: "tuple[str, ...]" = ("repro.",)  #: allowed job fn roots
 
@@ -53,6 +54,10 @@ class ServiceConfig:
         if self.max_records < 1:
             raise ValueError(
                 f"max_records must be >= 1, got {self.max_records}"
+            )
+        if self.request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be positive, got {self.request_timeout}"
             )
         if not self.fn_prefixes:
             raise ValueError("fn_prefixes must name at least one prefix")

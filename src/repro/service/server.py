@@ -26,6 +26,7 @@ import json
 import re
 from typing import Callable, Mapping
 
+from repro import faults
 from repro.runtime.job import Job
 from repro.service.broker import BackpressureError, DrainingError, JobBroker
 from repro.service.config import ServiceConfig
@@ -38,6 +39,7 @@ _REASONS = {
     403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
@@ -196,7 +198,22 @@ class ServiceServer:
     ) -> None:
         status = 500
         try:
-            request = await read_request(reader, self.config.max_body_bytes)
+            faults.fire("service.request")
+            try:
+                # A bounded read window bounds slow-loris connections: a
+                # peer trickling bytes (or holding the socket open without
+                # sending a request) is cut off with 408 instead of
+                # pinning a handler task forever.
+                request = await asyncio.wait_for(
+                    read_request(reader, self.config.max_body_bytes),
+                    timeout=self.config.request_timeout,
+                )
+            except asyncio.TimeoutError:
+                raise HttpError(
+                    408,
+                    f"request not received within "
+                    f"{self.config.request_timeout:g}s",
+                ) from None
             if request is None:
                 return
             try:

@@ -1,0 +1,39 @@
+"""A minimal sweep driver the chaos suite can kill and restart.
+
+Usage: ``python tests/chaos/driver.py CHECKPOINT_FILE JOB_COUNT``
+
+Runs ``JOB_COUNT`` echo jobs serially through a checkpointed runtime
+with the result cache disabled — the checkpoint journal is the *only*
+persistence — and prints one JSON line of outcome statuses.  Armed
+fault plans (``REPRO_FAULTS``) apply as usual, which is how the test
+kills this driver mid-sweep.
+"""
+
+import json
+import sys
+
+from repro.runtime.checkpoint import SweepCheckpoint
+from repro.runtime.events import EventBus
+from repro.runtime.job import Job
+from repro.runtime.scheduler import ExperimentRuntime, RuntimeConfig
+
+
+def main(argv):
+    checkpoint_path, count = argv[0], int(argv[1])
+    jobs = [
+        Job.create("tests.chaos.jobs:echo_job", label=f"j{i}", value=i)
+        for i in range(count)
+    ]
+    runtime = ExperimentRuntime(
+        config=RuntimeConfig(jobs=1, use_cache=False),
+        bus=EventBus([]),
+        checkpoint=SweepCheckpoint(checkpoint_path),
+    )
+    outcomes = runtime.map(jobs)
+    runtime.close()
+    print(json.dumps([outcome.status for outcome in outcomes]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,26 @@
+"""Module-level job bodies for the chaos suite (importable by workers)."""
+
+import signal
+import time
+
+
+def echo_job(value):
+    return {"value": value, "references": 1}
+
+
+def slow_echo_job(value, seconds=0.3):
+    """``echo_job`` with a window: the worker is guaranteed to still be
+    running when an external kill scripted at launch time lands (a
+    plain echo can win the race and deliver before the SIGKILL)."""
+    time.sleep(seconds)
+    return {"value": value, "references": 1}
+
+
+def stubborn_hang_job(seconds=60.0):
+    """Mask SIGTERM, then sleep: only SIGKILL can stop this worker —
+    the scenario the watchdog's terminate→kill escalation exists for."""
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        time.sleep(0.05)
+    return {"slept": seconds}

@@ -1,0 +1,245 @@
+"""Service chaos: dropped connections, dead peers, slow-loris, broker
+crash mid-sweep.
+
+Recovery contract: transport faults retry with capped, jittered
+backoff and surface as typed errors when the budget runs out; a
+slow-loris peer is bounded by the request timeout without blocking
+other clients; a SIGKILLed broker restarts and serves completed jobs
+from the shared cache, recomputing only what was in flight.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultSpec
+from repro.service.client import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryBudgetError,
+    ServiceClient,
+    ServiceError,
+)
+
+from tests.service.conftest import live_service  # noqa: F401 - fixture
+
+ECHO = "tests.service.jobs:echo"
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+#: a local port with nothing listening (RFC 2544 benchmark block)
+DEAD_URL = "http://127.0.0.1:47"
+
+
+def fast_client(url, **overrides):
+    settings = dict(
+        timeout=5.0, backoff=0.01, backoff_cap=0.05, jitter_seed=0
+    )
+    settings.update(overrides)
+    return ServiceClient(url, **settings)
+
+
+class TestClientRetry:
+    def test_dropped_connection_is_retried_transparently(
+        self, arm, live_service  # noqa: F811
+    ):
+        service = live_service()
+        arm(FaultSpec(site="client.request", action="drop", nth=1))
+        body = fast_client(service.url).submit(
+            fn=ECHO, params={"value": 7}, wait=True
+        )
+        assert body["state"] == "finished"
+        assert body["payload"]["value"] == 7
+        assert faults.active_injector().arrivals("client.request") == 2
+
+    def test_dead_peer_exhausts_budget_with_typed_error(self):
+        client = fast_client(DEAD_URL, max_retries=2)
+        with pytest.raises(RetryBudgetError) as info:
+            client.submit(fn=ECHO, params={"value": 1})
+        assert info.value.attempts == 3
+        assert info.value.status == 0
+        assert isinstance(info.value.last_error, ServiceError)
+        assert "cannot reach" in str(info.value.last_error)
+
+    def test_non_retryable_status_raises_immediately(
+        self, live_service  # noqa: F811
+    ):
+        service = live_service()
+        client = fast_client(service.url, max_retries=5)
+        with pytest.raises(ServiceError) as info:
+            client.submit(fn="os:system", params={})
+        assert info.value.status == 403  # no retries burned on a 4xx
+
+    def test_retry_after_is_capped_and_jittered(self):
+        client = ServiceClient(
+            "http://unused", backoff_cap=2.0, jitter_seed=3
+        )
+        # A hostile/buggy server sending Retry-After: 9999 must not
+        # stall the client for hours.
+        delays = [client._retry_delay(1, 9999.0) for _ in range(20)]
+        assert all(1.0 <= delay <= 2.0 for delay in delays)
+        assert len(set(delays)) > 1  # jittered, not constant
+
+    def test_exponential_backoff_without_server_hint(self):
+        client = ServiceClient(
+            "http://unused", backoff=0.1, backoff_cap=1.0, jitter_seed=0
+        )
+        for attempt, ceiling in [(1, 0.1), (2, 0.2), (3, 0.4), (6, 1.0)]:
+            delay = client._retry_delay(attempt, None)
+            assert ceiling / 2 <= delay <= ceiling
+
+
+class TestCircuitBreaker:
+    def test_repeated_failures_open_the_circuit(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=60.0)
+        client = fast_client(DEAD_URL, max_retries=0, breaker=breaker)
+        for _ in range(2):
+            with pytest.raises(RetryBudgetError):
+                client.submit(fn=ECHO, params={"value": 1})
+        assert breaker.open
+        # Third call: no network attempt, typed circuit error.
+        with pytest.raises(CircuitOpenError) as info:
+            client.submit(fn=ECHO, params={"value": 1})
+        assert info.value.remaining > 0
+
+    def test_circuit_half_opens_after_cooldown_and_success_closes(
+        self, live_service  # noqa: F811
+    ):
+        service = live_service()
+        breaker = CircuitBreaker(threshold=1, cooldown=0.05)
+        client = fast_client(service.url, max_retries=0, breaker=breaker)
+        breaker.record_failure()  # trip it
+        assert breaker.open
+        time.sleep(0.1)  # cooldown elapses: half-open
+        body = client.submit(fn=ECHO, params={"value": 3}, wait=True)
+        assert body["state"] == "finished"
+        assert not breaker.open  # success closed the circuit
+
+
+class TestServerFaults:
+    def test_server_side_drop_is_survived_by_the_client(
+        self, arm, live_service  # noqa: F811
+    ):
+        service = live_service()
+        # The server severs the first connection before reading the
+        # request; the client's transport retry resubmits.
+        arm(FaultSpec(site="service.request", action="drop", nth=1))
+        body = fast_client(service.url).submit(
+            fn=ECHO, params={"value": 11}, wait=True
+        )
+        assert body["state"] == "finished"
+        assert body["payload"]["value"] == 11
+
+    def test_slow_loris_gets_408_and_does_not_block_others(
+        self, live_service  # noqa: F811
+    ):
+        service = live_service(request_timeout=0.5)
+        loris = socket.create_connection(("127.0.0.1", service.port), 5.0)
+        loris.settimeout(10.0)
+        try:
+            # A request that never completes: no blank line, no body.
+            loris.sendall(b"POST /jobs HTTP/1.1\r\nContent-Le")
+            # While the loris dangles, a healthy client is served.
+            status = fast_client(service.url).status()
+            assert status["service"]["draining"] is False
+            response = loris.recv(4096)
+            assert b"408" in response.split(b"\r\n", 1)[0]
+        finally:
+            loris.close()
+
+    def test_status_exposes_health_counters(self, live_service):  # noqa: F811
+        from repro.runtime.health import health_counter
+
+        service = live_service()
+        health_counter("fault.cache.corrupt_artifact").inc()
+        status = fast_client(service.url).status()
+        assert status["health"]["fault.cache.corrupt_artifact"] >= 1
+
+
+class TestBrokerCrashMidSweep:
+    @pytest.fixture
+    def serve(self, tmp_path):
+        """Launch ``serve`` subprocesses sharing one cache dir."""
+        procs = []
+        cache_dir = tmp_path / "shared-cache"
+
+        def launch(plan=None):
+            env = dict(os.environ)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [os.path.join(REPO_ROOT, "src"), REPO_ROOT]
+            )
+            if plan is not None:
+                env[faults.FAULTS_ENV] = plan.to_json()
+            else:
+                env.pop(faults.FAULTS_ENV, None)
+            proc = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.service",
+                    "serve",
+                    "--port",
+                    "0",
+                    "--inline",
+                    "--quiet",
+                    "--allow-fn",
+                    "tests.",
+                    "--cache-dir",
+                    str(cache_dir),
+                ],
+                env=env,
+                cwd=REPO_ROOT,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            procs.append(proc)
+            ready = proc.stdout.readline().strip()
+            assert ready.startswith("repro.service listening on"), ready
+            return proc, ready.rsplit(" ", 1)[-1]
+
+        yield launch
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+            proc.stdout.close()
+            proc.stderr.close()
+
+    def test_killed_broker_restarts_and_resumes_from_cache(self, serve):
+        # The broker hard-crashes on its third admission — SIGKILL/OOM
+        # semantics, mid-sweep.
+        plan = FaultPlan.of(
+            FaultSpec(site="service.broker.submit", action="crash", nth=3)
+        )
+        proc, url = serve(plan)
+        client = fast_client(url, max_retries=1)
+        for value in (0, 1):
+            body = client.submit(
+                fn=ECHO, params={"value": value}, wait=True
+            )
+            assert body["state"] == "finished"
+        with pytest.raises(ServiceError):
+            client.submit(fn=ECHO, params={"value": 2}, wait=True)
+        assert proc.wait(timeout=10) == faults.CRASH_EXIT_CODE
+
+        # Restart against the same cache: completed jobs are cache
+        # hits, only the in-flight job is recomputed.
+        proc, url = serve()
+        client = fast_client(url)
+        statuses = []
+        for value in (0, 1, 2):
+            body = client.submit(
+                fn=ECHO, params={"value": value}, wait=True
+            )
+            assert body["state"] == "finished"
+            assert body["payload"]["value"] == value
+            statuses.append(body["status"])
+        assert statuses == ["cache-hit", "cache-hit", "submitted"]
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0

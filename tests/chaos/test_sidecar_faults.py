@@ -1,0 +1,176 @@
+"""Sidecar chaos: torn ``.l1f.npz`` records, crashes mid-publish.
+
+Recovery contract: a corrupt sidecar is quarantined and rebuilt to an
+identical record; a process killed between staging and publish leaves
+*no* visible sidecar (atomicity — a concurrent reader can never load a
+partial record), and the next build succeeds.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+from repro import faults
+from repro.faults import FaultPlan, FaultSpec
+from repro.kernels.l1filter import ensure_l1_filter, l1_filter_job_for
+from repro.runtime.cache import QUARANTINE_DIR, ResultCache
+from repro.runtime.health import health_snapshot
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+WORKLOAD = "mst"
+SCALE = 0.05
+
+
+def record_fingerprint(record):
+    return (
+        record.accesses,
+        record.records,
+        record.il1_misses,
+        record.dl1_misses,
+        record.max_instruction,
+        record.indices.tobytes(),
+        record.lines.tobytes(),
+        record.kinds.tobytes(),
+    )
+
+
+def child_env(cache_root, plan=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(REPO_ROOT, "src"), REPO_ROOT]
+    )
+    env["REPRO_CACHE_DIR"] = str(cache_root)
+    if plan is not None:
+        env[faults.FAULTS_ENV] = plan.to_json()
+    else:
+        env.pop(faults.FAULTS_ENV, None)
+    return env
+
+
+BUILD_SCRIPT = (
+    "from repro.kernels.l1filter import ensure_l1_filter\n"
+    f"record, cached = ensure_l1_filter({WORKLOAD!r}, scale={SCALE})\n"
+    "print('cached' if cached else 'built', record.records)\n"
+)
+
+
+class TestCorruptSidecar:
+    def test_torn_sidecar_is_quarantined_and_rebuilt_identically(
+        self, arm, tmp_path, capsys
+    ):
+        cache = ResultCache(root=tmp_path / "cache")
+        # Publish a *corrupted* sidecar: the truncation happens to the
+        # staged bytes right before the atomic rename, so the torn
+        # record is what lands on disk.
+        arm(FaultSpec(site="sidecar.save.bytes", action="truncate", arg=64))
+        first, cached = ensure_l1_filter(WORKLOAD, scale=SCALE, cache=cache)
+        assert not cached
+        faults.uninstall()
+
+        second, cached = ensure_l1_filter(WORKLOAD, scale=SCALE, cache=cache)
+        assert not cached  # the torn sidecar was not trusted
+        assert record_fingerprint(second) == record_fingerprint(first)
+        health = health_snapshot()
+        assert health["fault.sidecar.corrupt"] == 1
+        assert health["recovery.sidecar.rebuilt"] == 1
+        corrupt = list((cache.root / QUARANTINE_DIR).glob("*.corrupt"))
+        assert len(corrupt) == 1
+        assert "corrupt sidecar" in capsys.readouterr().err
+
+        # The rebuild republished a good record: now it serves.
+        third, cached = ensure_l1_filter(WORKLOAD, scale=SCALE, cache=cache)
+        assert cached
+        assert record_fingerprint(third) == record_fingerprint(first)
+
+    def test_sidecar_write_failure_serves_in_memory_record(
+        self, tmp_path, capsys
+    ):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("unusable cache root")
+        cache = ResultCache(root=blocker)
+        record, cached = ensure_l1_filter(WORKLOAD, scale=SCALE, cache=cache)
+        assert not cached
+        assert record.records > 0
+        assert health_snapshot()["fault.sidecar.write_failed"] == 1
+        assert "sidecar write failed" in capsys.readouterr().err
+
+
+class TestCrashMidPublish:
+    def test_crash_between_stage_and_publish_leaves_no_sidecar(
+        self, tmp_path
+    ):
+        cache_root = tmp_path / "cache"
+        plan = FaultPlan.of(FaultSpec(site="sidecar.save", action="crash"))
+        result = subprocess.run(
+            [sys.executable, "-c", BUILD_SCRIPT],
+            env=child_env(cache_root, plan),
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == faults.CRASH_EXIT_CODE
+
+        # The reader-visible invariant: no partial .l1f.npz, ever.
+        cache = ResultCache(root=cache_root)
+        job = l1_filter_job_for(WORKLOAD, scale=SCALE)
+        sidecar = cache.generation_dir / f"{job.hash}.l1f.npz"
+        assert not sidecar.exists()
+        # Staged leftovers are allowed (prune() reaps them), but they
+        # must never match the *.l1f.npz pattern a reader looks for.
+        assert list(cache_root.rglob("*.l1f.npz")) == []
+
+        # Next build (no faults) succeeds and publishes atomically.
+        result = subprocess.run(
+            [sys.executable, "-c", BUILD_SCRIPT],
+            env=child_env(cache_root),
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert result.stdout.startswith("built")
+        assert sidecar.is_file()
+        local, cached = ensure_l1_filter(
+            WORKLOAD, scale=SCALE, cache=ResultCache(root=cache_root)
+        )
+        assert cached
+        assert local.records > 0
+
+    def test_sigterm_during_publish_window_leaves_no_sidecar(self, tmp_path):
+        cache_root = tmp_path / "cache"
+        # Hang at the publish seam (tmp staged, rename not yet done),
+        # then SIGTERM the builder — the kill lands inside the window.
+        plan = FaultPlan.of(
+            FaultSpec(site="sidecar.save", action="hang", arg=60.0)
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", BUILD_SCRIPT],
+            env=child_env(cache_root, plan),
+            cwd=REPO_ROOT,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        # Wait for the staged tmp file to appear, then terminate.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if list(cache_root.rglob(".tmp-*.npz")):
+                break
+            if proc.poll() is not None:
+                break
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=10.0)
+        proc.stdout.close()
+        proc.stderr.close()
+        assert proc.returncode == -signal.SIGTERM
+        assert list(cache_root.rglob("*.l1f.npz")) == []
+
+        # The interrupted build never published; a clean retry does.
+        record, cached = ensure_l1_filter(
+            WORKLOAD, scale=SCALE, cache=ResultCache(root=cache_root)
+        )
+        assert not cached
+        assert record.records > 0

@@ -1,0 +1,59 @@
+"""FaultSpec/FaultPlan: validation, arrival windows, serialisation."""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec
+
+
+class TestFaultSpec:
+    def test_covers_its_arrival_window(self):
+        spec = FaultSpec(site="cache.put", action="raise", nth=3, count=2)
+        assert [spec.covers(n) for n in range(1, 7)] == [
+            False,
+            False,
+            True,
+            True,
+            False,
+            False,
+        ]
+
+    def test_defaults_fire_on_first_arrival_only(self):
+        spec = FaultSpec(site="cache.put", action="raise")
+        assert spec.covers(1)
+        assert not spec.covers(2)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"site": "", "action": "raise"},
+            {"site": "x", "action": "meteor"},
+            {"site": "x", "action": "raise", "nth": 0},
+            {"site": "x", "action": "raise", "count": 0},
+        ],
+    )
+    def test_invalid_specs_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultSpec(**kwargs)
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan.of(
+            FaultSpec(site="runtime.worker.kill", action="crash", nth=2),
+            FaultSpec(site="cache.put.bytes", action="bitflip", arg=3),
+            seed=42,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_for_site_filters(self):
+        kill = FaultSpec(site="a", action="crash")
+        flip = FaultSpec(site="b", action="bitflip")
+        plan = FaultPlan.of(kill, flip)
+        assert plan.for_site("a") == (kill,)
+        assert plan.for_site("b") == (flip,)
+        assert plan.for_site("c") == ()
+
+    @pytest.mark.parametrize("body", ["not json", "[]", '{"specs": 3}'])
+    def test_invalid_json_raises_value_error(self, body):
+        with pytest.raises(ValueError):
+            FaultPlan.from_json(body)

@@ -1,0 +1,155 @@
+"""SweepCheckpoint: journal, resume, torn tails, staleness, degradation."""
+
+import json
+
+import pytest
+
+from repro.runtime.checkpoint import SweepCheckpoint
+from repro.runtime.health import health_snapshot, reset_health
+from repro.runtime.job import Job
+from repro.runtime.scheduler import (
+    CACHED,
+    OK,
+    ExperimentRuntime,
+    RuntimeConfig,
+)
+from repro.runtime.events import EventBus
+
+ECHO = "tests.runtime.helper_jobs:echo_job"
+
+
+@pytest.fixture(autouse=True)
+def _clean_health():
+    reset_health()
+    yield
+    reset_health()
+
+
+def echo_jobs(n):
+    return [Job.create(ECHO, label=f"j{i}", value=i) for i in range(n)]
+
+
+def quiet_runtime(**kwargs):
+    kwargs.setdefault("bus", EventBus([]))
+    return ExperimentRuntime(**kwargs)
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        jobs = echo_jobs(3)
+        checkpoint = SweepCheckpoint(path)
+        for i, job in enumerate(jobs):
+            checkpoint.record(job, {"value": i}, duration=0.5)
+        checkpoint.close()
+
+        resumed = SweepCheckpoint(path)
+        assert len(resumed) == 3
+        for i, job in enumerate(jobs):
+            assert resumed.get(job) == {"value": i}
+        resumed.close()
+
+    def test_missing_file_is_empty(self, tmp_path):
+        checkpoint = SweepCheckpoint(tmp_path / "never-written.ckpt")
+        assert len(checkpoint) == 0
+        assert checkpoint.get(echo_jobs(1)[0]) is None
+
+    def test_header_written_once(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        jobs = echo_jobs(2)
+        first = SweepCheckpoint(path)
+        first.record(jobs[0], {"value": 0})
+        first.close()
+        second = SweepCheckpoint(path)
+        second.record(jobs[1], {"value": 1})
+        second.close()
+        lines = path.read_text().splitlines()
+        kinds = [json.loads(line)["kind"] for line in lines]
+        assert kinds == ["header", "done", "done"]
+
+
+class TestRecovery:
+    def test_torn_tail_is_dropped_and_trimmed(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        jobs = echo_jobs(2)
+        checkpoint = SweepCheckpoint(path)
+        checkpoint.record(jobs[0], {"value": 0})
+        checkpoint.close()
+        intact = path.read_bytes()
+        # A kill mid-append leaves a torn half-record at the tail.
+        path.write_bytes(
+            intact + b'{"kind": "done", "job_hash": "deadbeef", "pay'
+        )
+
+        resumed = SweepCheckpoint(path)
+        assert resumed.get(jobs[0]) == {"value": 0}
+        assert len(resumed) == 1
+        assert health_snapshot()["fault.checkpoint.torn_record"] == 1
+        # The tail was physically trimmed, so the next append extends a
+        # clean journal instead of landing after garbage.
+        assert path.read_bytes() == intact
+        resumed.record(jobs[1], {"value": 1})
+        resumed.close()
+        third = SweepCheckpoint(path)
+        assert len(third) == 2
+        third.close()
+
+    def test_stale_code_version_discards_journal(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        job = echo_jobs(1)[0]
+        old = SweepCheckpoint(path, code_version="old-version")
+        old.record(job, {"value": 0})
+        old.close()
+
+        fresh = SweepCheckpoint(path, code_version="new-version")
+        assert fresh.get(job) is None
+        assert not path.exists()
+        assert health_snapshot()["fault.checkpoint.stale_discarded"] == 1
+        fresh.close()
+
+    def test_unwritable_path_degrades_to_noop(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where a directory is needed")
+        checkpoint = SweepCheckpoint(blocker / "sweep.ckpt")
+        job = echo_jobs(1)[0]
+        checkpoint.record(job, {"value": 0})  # must not raise
+        assert checkpoint.get(job) == {"value": 0}  # in-memory still works
+        assert health_snapshot()["fault.checkpoint.write_failed"] >= 1
+        assert "continuing without" in capsys.readouterr().err
+        checkpoint.close()
+
+
+class TestRuntimeIntegration:
+    def test_completed_jobs_resume_as_cached_without_cache(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        jobs = echo_jobs(4)
+        config = RuntimeConfig(jobs=1, use_cache=False)
+
+        first = quiet_runtime(config=config, checkpoint=SweepCheckpoint(path))
+        outcomes = first.map(jobs)
+        assert [o.status for o in outcomes] == [OK] * 4
+        first.close()
+
+        second = quiet_runtime(config=config, checkpoint=SweepCheckpoint(path))
+        resumed = second.map(jobs)
+        assert [o.status for o in resumed] == [CACHED] * 4
+        assert [o.payload for o in resumed] == [o.payload for o in outcomes]
+        assert second.stats.executed == 0
+        assert health_snapshot()["recovery.checkpoint.hits"] == 4
+        second.close()
+
+    def test_new_jobs_run_and_join_the_journal(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        config = RuntimeConfig(jobs=1, use_cache=False)
+        first = quiet_runtime(config=config, checkpoint=SweepCheckpoint(path))
+        first.map(echo_jobs(2))
+        first.close()
+
+        second = quiet_runtime(config=config, checkpoint=SweepCheckpoint(path))
+        outcomes = second.map(echo_jobs(4))
+        assert [o.status for o in outcomes] == [CACHED, CACHED, OK, OK]
+        second.close()
+
+        third = quiet_runtime(config=config, checkpoint=SweepCheckpoint(path))
+        assert [o.status for o in third.map(echo_jobs(4))] == [CACHED] * 4
+        third.close()
