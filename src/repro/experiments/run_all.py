@@ -75,25 +75,20 @@ def _run_experiment(
 
 
 def _finalize_obs(obs_dir: str) -> None:
-    """Merge every per-job trace and the bridged scheduler runlog into
-    ``<obs_dir>/trace.json`` (best-effort: never fails the run)."""
+    """Aggregate every per-job trace, the bridged scheduler runlog, and
+    the kernel phase spans into ``<obs_dir>/trace.json`` plus the
+    machine-readable ``<obs_dir>/sweep_summary.json`` (best-effort:
+    never fails the run)."""
     try:
-        import json
-        from pathlib import Path
+        from repro.obs.aggregate import write_aggregate
 
-        from repro.obs.bridge import merge_obs_dir
-
-        document = merge_obs_dir(obs_dir)
-        if not document["traceEvents"]:
-            return
-        out = Path(obs_dir) / "trace.json"
-        out.write_text(json.dumps(document) + "\n", encoding="utf-8")
+        paths = write_aggregate(obs_dir)
         print(
-            f"[obs] merged trace: {out} "
-            f"({len(document['traceEvents']):,} events) — "
+            f"[obs] merged trace: {paths['trace']} — "
             "load at https://ui.perfetto.dev",
             file=sys.stderr,
         )
+        print(f"[obs] sweep summary: {paths['summary']}", file=sys.stderr)
     except Exception as exc:  # noqa: BLE001 - telemetry must not fail runs
         print(f"[obs] trace merge failed: {exc}", file=sys.stderr)
 

@@ -94,6 +94,8 @@ def run_table2_for(
     (:class:`~repro.obs.probe.SimProbe`) and write their telemetry
     artifact triples (metrics/events/Chrome trace) into that directory.
     """
+    from repro.obs import trace_context
+
     record, _cached = ensure_l1_filter(name, scale=scale, seed=seed)
     baseline_probe = chip_probe = None
     if obs_dir is not None:
@@ -102,10 +104,14 @@ def run_table2_for(
         baseline_probe = SimProbe(name="baseline")
         chip_probe = SimProbe(name="chip")
     baseline = SingleCoreHierarchy(probe=baseline_probe)
-    baseline.run_filtered(record)
+    with trace_context.phase("replay.baseline", workload=name):
+        baseline.run_filtered(record)
     chip = MultiCoreChip(ChipConfig(), probe=chip_probe)
-    chip.run_filtered(record)
+    with trace_context.phase("replay.chip", workload=name):
+        chip.run_filtered(record)
     if obs_dir is not None:
+        from pathlib import Path
+
         from repro.obs import save_report
 
         save_report(
@@ -118,6 +124,12 @@ def run_table2_for(
             obs_dir,
             f"table2-{name}-chip",
         )
+        # Kernel phase spans (L1-filter load/build, both replay passes)
+        # join the obs artifacts; the aggregate merger parents them to
+        # this job's span via the propagated trace context.
+        trace_context.write_phases(Path(obs_dir) / "phases.jsonl")
+    else:
+        trace_context.drain_phases()  # bounded either way; keep it empty
     chip_stats = chip.stats.to_dict()
     return Table2Row(
         name=name,

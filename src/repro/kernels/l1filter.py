@@ -45,6 +45,7 @@ import numpy as np
 
 from repro import faults
 from repro.caches.base import EvictedLine
+from repro.obs import trace_context
 from repro.caches.fully_assoc import FullyAssociativeCache
 from repro.caches.hierarchy import CoreCacheConfig
 from repro.caches.set_assoc import SetAssociativeCache
@@ -391,7 +392,8 @@ def ensure_l1_filter(
     sidecar = _sidecar_path(cache, job)
     if sidecar.is_file():
         try:
-            return L1FilterRecord.load(sidecar), True
+            with trace_context.phase("l1filter.load", workload=name):
+                return L1FilterRecord.load(sidecar), True
         except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
             # Corrupt or stale sidecar (torn write survived a crash, bit
             # rot, old record version): quarantine it next to corrupt
@@ -401,7 +403,8 @@ def ensure_l1_filter(
             _quarantine_sidecar(cache, sidecar, exc)
             health_counter("recovery.sidecar.rebuilt").inc()
     spec = workload(name, scale=scale, seed=seed)
-    record = build_l1_filter(*spec.arrays())
+    with trace_context.phase("l1filter.build", workload=name):
+        record = build_l1_filter(*spec.arrays())
     try:
         record.save(sidecar)
     except OSError as exc:

@@ -18,12 +18,29 @@ end-of-run counters average away.  This package adds the time axis:
   Perfetto and watch execution hop between cores), JSONL, and terminal
   summaries;
 * :mod:`repro.obs.bridge` — merges the runtime's scheduler
-  :class:`~repro.runtime.events.JobEvent` stream into the same sink.
+  :class:`~repro.runtime.events.JobEvent` stream into the same sink;
+* :mod:`repro.obs.trace_context` — cross-process span correlation:
+  one trace id per sweep, deterministic per-job spans propagated into
+  worker processes, kernel phase spans;
+* :mod:`repro.obs.aggregate` — stitches per-worker artifacts into one
+  merged Perfetto trace plus a machine-readable sweep summary
+  (per-stage latency histograms, span-linkage check);
+* :mod:`repro.obs.trajectory` — the perf-history regression gate over
+  committed ``BENCH_*.json`` baselines;
+* :mod:`repro.obs.watch` — a live terminal view of a running sweep.
 
-Command line: ``python -m repro.obs {summarize,export}``; producer
-side: ``python -m repro.experiments.run_all --obs <dir>``.
+Command line: ``python -m repro.obs {summarize,export,watch,
+trajectory}``; producer side: ``python -m repro.experiments.run_all
+--obs <dir>``.
 """
 
+from repro.obs.aggregate import (
+    SweepArtifacts,
+    build_sweep_trace,
+    collect_artifacts,
+    sweep_summary,
+    write_aggregate,
+)
 from repro.obs.events import EventLog, SimEvent
 from repro.obs.export import (
     chrome_trace,
@@ -39,6 +56,7 @@ from repro.obs.metrics import (
     TimeSeries,
 )
 from repro.obs.probe import ObsReport, SimProbe
+from repro.obs.trace_context import TraceContext, mint_root, span_for_job
 
 __all__ = [
     "Counter",
@@ -49,9 +67,17 @@ __all__ = [
     "ObsReport",
     "SimEvent",
     "SimProbe",
+    "SweepArtifacts",
     "TimeSeries",
+    "TraceContext",
+    "build_sweep_trace",
     "chrome_trace",
+    "collect_artifacts",
     "merge_trace_documents",
+    "mint_root",
     "save_report",
+    "span_for_job",
     "summarize_reports",
+    "sweep_summary",
+    "write_aggregate",
 ]

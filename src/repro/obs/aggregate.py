@@ -1,0 +1,646 @@
+"""Stitch per-worker/per-host obs artifacts into one sweep view.
+
+A parallel sweep scatters telemetry: every worker process writes its
+own report triple (``*.metrics.json`` / ``*.events.jsonl`` /
+``*.trace.json``), the scheduler bridge appends ``runtime.jsonl``, a
+service instance appends ``service-runtime.jsonl``, and kernel phase
+spans land in ``phases.jsonl``.  This module merges any mix of those —
+directories, globs, or individual files — into:
+
+* **one Perfetto trace** (:func:`build_sweep_trace`): a ``scheduler``
+  process with a root ``sweep`` span per trace id, one thread row per
+  job carrying its queue-wait span, execute span, and kernel phase
+  spans (all causally linked by ``trace_id``/``span_id``/
+  ``parent_span_id`` from :mod:`repro.obs.trace_context`), plus each
+  job's simulator rows as separate processes via the pid-remapping
+  merge in :mod:`repro.obs.export`;
+* **one machine-readable summary** (:func:`sweep_summary`): per-stage
+  latency HDR histograms (queue wait, execution, each kernel phase)
+  and cache-hit / retry / failure counters, with a span-linkage check
+  (every span's parent must exist in the merged trace).
+
+Scheduler and phase events carry absolute wall-clock microseconds
+(``wall_us``), so artifacts from different processes land on one
+shared timeline; simulator rows keep their own reference clock
+(1 ref = 1 us) as before.
+"""
+
+from __future__ import annotations
+
+import glob as _glob
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.obs.events import SimEvent
+from repro.obs.export import (
+    chrome_trace,
+    load_events_jsonl,
+    merge_trace_documents,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.probe import ObsReport
+from repro.obs.trace_context import load_phases
+
+SUMMARY_SCHEMA = "repro.obs/sweep-summary@1"
+
+#: JobEvent wire-shape keys accepted when reading raw run logs
+_JOB_EVENT_KEYS = (
+    "event",
+    "label",
+    "job_hash",
+    "timestamp",
+    "attempt",
+    "duration",
+    "references",
+    "error",
+    "trace_id",
+    "span_id",
+    "parent_span_id",
+)
+
+_RUNTIME_PREFIX = "runtime."
+_TERMINAL = ("finished", "failed", "interrupted")
+
+
+@dataclass
+class SweepArtifacts:
+    """Everything one aggregation found across its inputs."""
+
+    reports: "list[ObsReport]" = field(default_factory=list)
+    runtime_events: "list[SimEvent]" = field(default_factory=list)
+    phases: "list[dict[str, object]]" = field(default_factory=list)
+    service_metrics: "list[dict[str, object]]" = field(default_factory=list)
+    sources: "list[Path]" = field(default_factory=list)
+
+
+@dataclass
+class JobSpan:
+    """One job's reconstructed lifecycle across the sweep."""
+
+    label: str
+    job_hash: str
+    trace_id: "str | None" = None
+    span_id: "str | None" = None
+    parent_span_id: "str | None" = None
+    queued_us: "int | None" = None  #: wall clock, epoch microseconds
+    started_us: "int | None" = None
+    ended_us: "int | None" = None
+    status: "str | None" = None
+    attempts: int = 1
+    retries: int = 0
+    cache_hit: bool = False
+    references: "int | None" = None
+
+    def to_dict(self) -> "dict[str, object]":
+        queue_wait = (
+            self.started_us - self.queued_us
+            if self.started_us is not None and self.queued_us is not None
+            else None
+        )
+        execute = (
+            self.ended_us - self.started_us
+            if self.ended_us is not None and self.started_us is not None
+            else None
+        )
+        return {
+            "label": self.label,
+            "job_hash": self.job_hash,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_span_id": self.parent_span_id,
+            "status": self.status,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "cache_hit": self.cache_hit,
+            "queue_wait_us": queue_wait,
+            "execute_us": execute,
+            "references": self.references,
+        }
+
+
+# -- input resolution ----------------------------------------------------
+
+
+def resolve_inputs(inputs: "Sequence[str | Path]") -> "list[Path]":
+    """Expand directories and shell globs into concrete paths."""
+    resolved: "list[Path]" = []
+    for item in inputs:
+        text = str(item)
+        if any(ch in text for ch in "*?["):
+            matches = sorted(_glob.glob(text))
+            resolved.extend(Path(m) for m in matches)
+        else:
+            resolved.append(Path(text))
+    return resolved
+
+
+def load_reports_from(directory: "str | Path") -> "list[ObsReport]":
+    """Rebuild reports from the ``*.metrics.json`` / ``*.events.jsonl``
+    artifact pairs in a directory."""
+    directory = Path(directory)
+    reports: "list[ObsReport]" = []
+    for metrics_path in sorted(directory.glob("*.metrics.json")):
+        report = _load_report(metrics_path)
+        if report is not None:
+            reports.append(report)
+    return reports
+
+
+def _load_report(metrics_path: Path) -> "ObsReport | None":
+    try:
+        data = json.loads(metrics_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    events_path = metrics_path.with_name(
+        metrics_path.name.replace(".metrics.json", ".events.jsonl")
+    )
+    try:
+        events = load_events_jsonl(events_path) if events_path.exists() else []
+    except (OSError, ValueError, KeyError):
+        events = []
+    return ObsReport(
+        meta=dict(data.get("meta", {})),
+        metrics=dict(data.get("metrics", {})),
+        events=events,
+        dropped_events=int(data.get("dropped_events", 0)),
+    )
+
+
+def load_runlog(path: "str | Path") -> "list[SimEvent]":
+    """Read one run log in either wire shape: obs-bridged
+    (:class:`SimEvent` dicts, as ``ObsRunlogSink`` writes) or raw
+    scheduler (``JobEvent`` records, as ``JsonlSink`` writes — these
+    are bridged here)."""
+    from repro.obs.bridge import bridge_job_events
+    from repro.runtime.events import JobEvent
+
+    sim_events: "list[SimEvent]" = []
+    job_events: "list[JobEvent]" = []
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return sim_events
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail of a killed run
+        if not isinstance(data, dict):
+            continue
+        if "kind" in data:
+            try:
+                sim_events.append(SimEvent.from_dict(data))
+            except (KeyError, TypeError, ValueError):
+                continue
+        elif "event" in data:
+            kwargs = {k: data[k] for k in _JOB_EVENT_KEYS if k in data}
+            try:
+                job_events.append(JobEvent(**kwargs))
+            except (TypeError, ValueError):
+                continue
+    if job_events:
+        sim_events.extend(bridge_job_events(job_events))
+    return sim_events
+
+
+def collect_artifacts(inputs: "Sequence[str | Path]") -> SweepArtifacts:
+    """Gather reports, run logs, and phase spans from any mix of
+    directories, glob patterns, and files."""
+    artifacts = SweepArtifacts()
+    for path in resolve_inputs(inputs):
+        if path.is_dir():
+            _collect_dir(path, artifacts)
+        elif path.is_file():
+            _collect_file(path, artifacts)
+    return artifacts
+
+
+def _collect_dir(directory: Path, artifacts: SweepArtifacts) -> None:
+    artifacts.sources.append(directory)
+    artifacts.reports.extend(load_reports_from(directory))
+    for runlog in sorted(directory.glob("*.jsonl")):
+        if runlog.name.endswith(".events.jsonl"):
+            continue  # a report's sim events, already loaded above
+        if runlog.name == "phases.jsonl":
+            artifacts.phases.extend(load_phases(runlog))
+            continue
+        artifacts.runtime_events.extend(load_runlog(runlog))
+    metrics = directory / "service-metrics.json"
+    if metrics.is_file():
+        try:
+            data = json.loads(metrics.read_text(encoding="utf-8"))
+            if isinstance(data, dict):
+                artifacts.service_metrics.append(data)
+        except (OSError, json.JSONDecodeError):
+            pass
+
+
+def _collect_file(path: Path, artifacts: SweepArtifacts) -> None:
+    name = path.name
+    if name.endswith(".metrics.json"):
+        report = _load_report(path)
+        if report is not None:
+            artifacts.sources.append(path)
+            artifacts.reports.append(report)
+    elif name == "phases.jsonl" or name.endswith(".phases.jsonl"):
+        artifacts.sources.append(path)
+        artifacts.phases.extend(load_phases(path))
+    elif name.endswith(".jsonl") and not name.endswith(".events.jsonl"):
+        artifacts.sources.append(path)
+        artifacts.runtime_events.extend(load_runlog(path))
+    # *.trace.json and *.events.jsonl are derived views of the above;
+    # merged outputs (trace.json) must never feed back in as inputs.
+
+
+# -- job-span reconstruction ---------------------------------------------
+
+
+def _wall_us(event: SimEvent) -> "int | None":
+    wall = event.args.get("wall_us")
+    return int(wall) if isinstance(wall, (int, float)) else None
+
+
+def build_job_spans(events: "Sequence[SimEvent]") -> "list[JobSpan]":
+    """Fold a bridged scheduler stream into one span per job hash."""
+    spans: "dict[str, JobSpan]" = {}
+    order: "list[str]" = []
+    # Wall clock first (it is shared across processes; seq/t are local
+    # to one runlog), seq as the same-file tie-break.
+    for event in sorted(
+        events, key=lambda e: (_wall_us(e) or e.t, e.seq)
+    ):
+        if not event.kind.startswith(_RUNTIME_PREFIX):
+            continue
+        suffix = event.kind[len(_RUNTIME_PREFIX):]
+        job_hash = str(event.args.get("job_hash", ""))
+        span = spans.get(job_hash)
+        if span is None:
+            span = JobSpan(
+                label=str(event.args.get("label", "job")), job_hash=job_hash
+            )
+            spans[job_hash] = span
+            order.append(job_hash)
+        trace_id = event.args.get("trace_id")
+        if trace_id is not None:
+            span.trace_id = str(trace_id)
+            span.span_id = str(event.args.get("span_id"))
+            parent = event.args.get("parent_span_id")
+            span.parent_span_id = str(parent) if parent is not None else None
+        wall = _wall_us(event)
+        attempt = event.args.get("attempt")
+        if isinstance(attempt, int) and attempt > span.attempts:
+            span.attempts = attempt
+        if suffix == "queued" and span.queued_us is None:
+            span.queued_us = wall
+        elif suffix == "started" and span.started_us is None:
+            span.started_us = wall
+        elif suffix == "retried":
+            span.retries += 1
+        elif suffix == "cache-hit":
+            span.cache_hit = True
+            span.status = span.status or "cache-hit"
+            span.ended_us = wall
+        elif suffix in _TERMINAL:
+            span.status = suffix
+            span.ended_us = wall
+            refs = event.args.get("references")
+            if isinstance(refs, int):
+                span.references = refs
+    return [spans[h] for h in order]
+
+
+def _trace_roots(
+    spans: "Iterable[JobSpan]",
+    phases: "Iterable[dict[str, object]]" = (),
+) -> "dict[str, str]":
+    """``trace_id -> root span id`` as observed from job parents (with
+    orphan phase parents never overriding a job-derived root)."""
+    roots: "dict[str, str]" = {}
+    for span in spans:
+        if span.trace_id and span.parent_span_id:
+            roots.setdefault(span.trace_id, span.parent_span_id)
+    for phase in phases:
+        trace_id = phase.get("trace_id")
+        parent = phase.get("parent_span_id")
+        if trace_id and parent and str(trace_id) not in roots:
+            # A phase recorded outside any job span parents straight to
+            # the sweep root.
+            roots[str(trace_id)] = str(parent)
+    return roots
+
+
+# -- the sweep summary ---------------------------------------------------
+
+
+def sweep_summary(artifacts: SweepArtifacts) -> "dict[str, object]":
+    """The machine-readable sweep roll-up (``sweep_summary.json``)."""
+    spans = build_job_spans(artifacts.runtime_events)
+    roots = _trace_roots(spans, artifacts.phases)
+
+    stages: "dict[str, Histogram]" = {}
+
+    def stage(name: str) -> Histogram:
+        hist = stages.get(name)
+        if hist is None:
+            hist = stages[name] = Histogram()
+        return hist
+
+    counters = {
+        "jobs": len(spans),
+        "finished": 0,
+        "failed": 0,
+        "interrupted": 0,
+        "cache_hits": 0,
+        "crash_retries": 0,
+        "fault_recoveries": 0,
+    }
+    for span in spans:
+        data = span.to_dict()
+        if data["queue_wait_us"] is not None:
+            stage("queue_wait_us").record(data["queue_wait_us"])
+        if data["execute_us"] is not None:
+            stage("execute_us").record(data["execute_us"])
+        if span.status in counters:
+            counters[span.status] += 1
+        if span.cache_hit:
+            counters["cache_hits"] += 1
+        counters["crash_retries"] += span.retries
+        # A job that was crash-retried *and* still finished is a
+        # recovery the fault layer won.
+        if span.retries and span.status == "finished":
+            counters["fault_recoveries"] += 1
+    for phase in artifacts.phases:
+        dur = phase.get("dur_us")
+        name = str(phase.get("name", "phase"))
+        if isinstance(dur, (int, float)):
+            stage(f"phase.{name}_us").record(int(dur))
+
+    # Dedup/cache counters from a co-located service instance, when
+    # its metrics snapshot is part of the artifact set.
+    service_counters: "dict[str, object]" = {}
+    if artifacts.service_metrics:
+        merged = MetricsRegistry.merge_dicts(artifacts.service_metrics)
+        service_counters = {
+            name: metric["value"]
+            for name, metric in sorted(merged.items())
+            if isinstance(metric, dict)
+            and metric.get("type") == "counter"
+            and not name.startswith("service.tenant.")
+        }
+
+    known_spans = set(roots.values())
+    known_spans.update(s.span_id for s in spans if s.span_id)
+    known_spans.update(
+        str(p["span_id"]) for p in artifacts.phases if p.get("span_id")
+    )
+    unlinked = [
+        s.span_id
+        for s in spans
+        if s.parent_span_id and s.parent_span_id not in known_spans
+    ]
+    unlinked.extend(
+        str(p.get("span_id"))
+        for p in artifacts.phases
+        if p.get("parent_span_id")
+        and str(p["parent_span_id"]) not in known_spans
+    )
+
+    return {
+        "schema": SUMMARY_SCHEMA,
+        "traces": {
+            trace_id: {"root_span_id": root}
+            for trace_id, root in sorted(roots.items())
+        },
+        "jobs": counters,
+        "stages": {
+            name: hist.to_dict() for name, hist in sorted(stages.items())
+        },
+        "service": service_counters,
+        "spans": [span.to_dict() for span in spans],
+        "phase_spans": len(artifacts.phases),
+        "reports": len(artifacts.reports),
+        "unlinked_spans": unlinked,
+        "sources": [str(p) for p in artifacts.sources],
+    }
+
+
+# -- the merged Perfetto trace -------------------------------------------
+
+
+def scheduler_trace_events(
+    artifacts: SweepArtifacts, pid: int = 1
+) -> "list[dict[str, object]]":
+    """Chrome trace events for the scheduler side of a sweep: the root
+    ``sweep`` span, one thread row per job with queue-wait and execute
+    spans, kernel phase spans nested on their job's row, and instants
+    for retries/cache hits — all on one wall-clock timeline."""
+    spans = build_job_spans(artifacts.runtime_events)
+    roots = _trace_roots(spans, artifacts.phases)
+    walls: "list[int]" = []
+    for span in spans:
+        walls.extend(
+            w
+            for w in (span.queued_us, span.started_us, span.ended_us)
+            if w is not None
+        )
+    for phase in artifacts.phases:
+        start = phase.get("start_us")
+        if isinstance(start, (int, float)):
+            walls.append(int(start))
+            dur = phase.get("dur_us")
+            if isinstance(dur, (int, float)):
+                walls.append(int(start) + int(dur))
+    t0 = min(walls) if walls else 0
+    t_end = max(walls) if walls else 0
+
+    out: "list[dict[str, object]]" = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "scheduler"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "sweep"},
+        },
+    ]
+    for trace_id, root_span in sorted(roots.items()):
+        out.append(
+            {
+                "name": "sweep",
+                "cat": "runtime",
+                "ph": "X",
+                "pid": pid,
+                "tid": 0,
+                "ts": 0,
+                "dur": max(1, t_end - t0),
+                "args": {"trace_id": trace_id, "span_id": root_span},
+            }
+        )
+
+    tids: "dict[str, int]" = {}
+    span_tids: "dict[str, int]" = {}  # job span id -> tid, for phases
+
+    def tid_for(label: str) -> int:
+        if label not in tids:
+            tids[label] = len(tids) + 1
+            out.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tids[label],
+                    "args": {"name": label},
+                }
+            )
+        return tids[label]
+
+    for span in spans:
+        tid = tid_for(span.label)
+        if span.span_id:
+            span_tids[span.span_id] = tid
+        trace_args = {
+            "job_hash": span.job_hash,
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_span_id": span.parent_span_id,
+        }
+        if span.queued_us is not None and span.started_us is not None:
+            out.append(
+                {
+                    "name": "queue-wait",
+                    "cat": "runtime",
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": span.queued_us - t0,
+                    "dur": max(1, span.started_us - span.queued_us),
+                    "args": trace_args,
+                }
+            )
+        if span.started_us is not None and span.ended_us is not None:
+            out.append(
+                {
+                    "name": span.status or "execute",
+                    "cat": "runtime",
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": span.started_us - t0,
+                    "dur": max(1, span.ended_us - span.started_us),
+                    "args": {**trace_args, "attempts": span.attempts},
+                }
+            )
+        elif span.cache_hit and span.ended_us is not None:
+            out.append(
+                {
+                    "name": "cache-hit",
+                    "cat": "runtime",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": span.ended_us - t0,
+                    "args": trace_args,
+                }
+            )
+        if span.retries:
+            out.append(
+                {
+                    "name": "retried",
+                    "cat": "runtime",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": (span.started_us or span.queued_us or t0) - t0,
+                    "args": {**trace_args, "retries": span.retries},
+                }
+            )
+
+    orphan_tid: "int | None" = None
+    for phase in artifacts.phases:
+        start = phase.get("start_us")
+        if not isinstance(start, (int, float)):
+            continue
+        parent = phase.get("parent_span_id")
+        tid = span_tids.get(str(parent)) if parent is not None else None
+        if tid is None:
+            if orphan_tid is None:
+                orphan_tid = len(tids) + 1
+                tids["(phases)"] = orphan_tid
+                out.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": orphan_tid,
+                        "args": {"name": "(phases)"},
+                    }
+                )
+            tid = orphan_tid
+        dur = phase.get("dur_us")
+        out.append(
+            {
+                "name": str(phase.get("name", "phase")),
+                "cat": "phase",
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": int(start) - t0,
+                "dur": max(1, int(dur) if isinstance(dur, (int, float)) else 1),
+                "args": {
+                    "trace_id": phase.get("trace_id"),
+                    "span_id": phase.get("span_id"),
+                    "parent_span_id": phase.get("parent_span_id"),
+                    "pid": phase.get("pid"),
+                },
+            }
+        )
+    return out
+
+
+def build_sweep_trace(artifacts: SweepArtifacts) -> "dict[str, object]":
+    """One Perfetto-loadable document for the whole artifact set."""
+    documents: "list[dict[str, object]]" = []
+    if artifacts.runtime_events or artifacts.phases:
+        documents.append({"traceEvents": scheduler_trace_events(artifacts)})
+    for report in artifacts.reports:
+        documents.append(chrome_trace(report))
+    return merge_trace_documents(documents)
+
+
+def aggregate(
+    inputs: "Sequence[str | Path]",
+) -> "tuple[dict[str, object], dict[str, object]]":
+    """Collect the inputs once; return ``(trace_document, summary)``."""
+    artifacts = collect_artifacts(inputs)
+    return build_sweep_trace(artifacts), sweep_summary(artifacts)
+
+
+def write_aggregate(
+    directory: "str | Path",
+    inputs: "Sequence[str | Path] | None" = None,
+) -> "dict[str, Path]":
+    """Aggregate ``inputs`` (default: the directory itself) and write
+    ``trace.json`` + ``sweep_summary.json`` into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    document, summary = aggregate(inputs if inputs is not None else [directory])
+    trace_path = directory / "trace.json"
+    trace_path.write_text(json.dumps(document) + "\n", encoding="utf-8")
+    summary_path = directory / "sweep_summary.json"
+    summary_path.write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return {"trace": trace_path, "summary": summary_path}

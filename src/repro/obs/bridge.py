@@ -39,6 +39,11 @@ def sim_event_from_job_event(
         "label": event.label,
         "job_hash": event.job_hash,
         "attempt": event.attempt,
+        # Absolute wall clock (epoch us): the aggregate merger uses it
+        # to place scheduler spans and kernel phase spans from several
+        # processes on one shared timeline (relative `t` cannot — each
+        # runlog's t0 is the sink's creation time, local to it).
+        "wall_us": int(event.timestamp * 1_000_000),
     }
     if event.duration is not None:
         args["duration"] = event.duration
@@ -46,6 +51,10 @@ def sim_event_from_job_event(
         args["references"] = event.references
     if event.error is not None:
         args["error"] = event.error
+    if event.trace_id is not None:
+        args["trace_id"] = event.trace_id
+        args["span_id"] = event.span_id
+        args["parent_span_id"] = event.parent_span_id
     return SimEvent(
         kind=RUNTIME_PREFIX + event.event,
         t=max(0, int((event.timestamp - t0) * 1_000_000)),

@@ -2,13 +2,19 @@
 
 Subcommands::
 
-    python -m repro.obs summarize obs-out/
-    python -m repro.obs export obs-out/ -o obs-out/trace.json
+    python -m repro.obs summarize obs-out/ 'more-obs/*.metrics.json'
+    python -m repro.obs export obs-out/ other-obs/ -o sweep/trace.json
+    python -m repro.obs watch obs-out/
+    python -m repro.obs trajectory --check
 
-``summarize`` prints a terminal table over every report in an ``--obs``
-directory (one row per instrumented job) plus the event-kind census and
-the merged chip counters.  ``export`` merges every per-job Chrome trace
-and the bridged scheduler runlog into one Perfetto-loadable file.
+``summarize`` prints a terminal table over every report found in the
+given directories/globs/files (one row per instrumented job), the
+event-kind census, the merged chip counters, and the sweep roll-up
+(per-stage latency histograms, span-linkage check).  ``export`` merges
+everything into one Perfetto-loadable trace plus the machine-readable
+``sweep_summary.json`` (see :mod:`repro.obs.aggregate`).  ``watch``
+tails a sweep's run logs live, and ``trajectory`` is the perf-history
+regression gate (:mod:`repro.obs.trajectory`).
 """
 
 from __future__ import annotations
@@ -18,34 +24,21 @@ import json
 import sys
 from pathlib import Path
 
-from repro.obs.bridge import merge_obs_dir
-from repro.obs.export import load_events_jsonl, summarize_reports
+from repro.obs.aggregate import (
+    build_sweep_trace,
+    collect_artifacts,
+    load_reports_from,
+    sweep_summary,
+)
+from repro.obs.export import summarize_reports
 from repro.obs.probe import ObsReport
 
 
 def load_reports(directory: "str | Path") -> "list[ObsReport]":
-    """Rebuild reports from the ``*.metrics.json`` / ``*.events.jsonl``
-    artifact pairs in a directory."""
-    directory = Path(directory)
-    reports: "list[ObsReport]" = []
-    for metrics_path in sorted(directory.glob("*.metrics.json")):
-        try:
-            data = json.loads(metrics_path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
-            continue
-        events_path = metrics_path.with_name(
-            metrics_path.name.replace(".metrics.json", ".events.jsonl")
-        )
-        events = load_events_jsonl(events_path) if events_path.exists() else []
-        reports.append(
-            ObsReport(
-                meta=dict(data.get("meta", {})),
-                metrics=dict(data.get("metrics", {})),
-                events=events,
-                dropped_events=int(data.get("dropped_events", 0)),
-            )
-        )
-    return reports
+    """Rebuild reports from one artifact directory (thin alias kept for
+    existing imports; multi-input loading lives in
+    :mod:`repro.obs.aggregate`)."""
+    return load_reports_from(directory)
 
 
 def _merged_chip_counters(reports: "list[ObsReport]") -> "str | None":
@@ -68,34 +61,71 @@ def _merged_chip_counters(reports: "list[ObsReport]") -> "str | None":
     )
 
 
+def _stage_lines(summary: "dict[str, object]") -> "list[str]":
+    lines = []
+    stages = summary.get("stages", {})
+    if stages:
+        lines.append("sweep stages (us):")
+        for name, hist in sorted(stages.items()):
+            lines.append(
+                f"  {name:<24s} n={hist['count']:<5d} "
+                f"p50={hist['p50']:,.0f} p99={hist['p99']:,.0f} "
+                f"max={hist['max']:,}"
+            )
+    unlinked = summary.get("unlinked_spans", [])
+    if unlinked:
+        lines.append(f"UNLINKED spans (broken parents): {len(unlinked)}")
+    return lines
+
+
 def _cmd_summarize(args: argparse.Namespace) -> int:
-    reports = load_reports(args.directory)
-    if not reports:
-        print(f"no *.metrics.json artifacts in {args.directory}", file=sys.stderr)
+    artifacts = collect_artifacts(args.inputs)
+    if not artifacts.reports and not artifacts.runtime_events:
+        print(
+            f"no obs artifacts in {' '.join(args.inputs)}", file=sys.stderr
+        )
         return 1
-    print(summarize_reports(reports))
-    merged = _merged_chip_counters(reports)
-    if merged:
-        print()
-        print(merged)
-    runlog = Path(args.directory) / "runtime.jsonl"
-    if runlog.exists():
-        print(f"\nscheduler events bridged: {len(load_events_jsonl(runlog)):,}")
+    if artifacts.reports:
+        print(summarize_reports(artifacts.reports))
+        merged = _merged_chip_counters(artifacts.reports)
+        if merged:
+            print()
+            print(merged)
+    if artifacts.runtime_events:
+        print(
+            f"\nscheduler events bridged: {len(artifacts.runtime_events):,}"
+        )
+    summary = sweep_summary(artifacts)
+    for line in _stage_lines(summary):
+        print(line)
     return 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
-    document = merge_obs_dir(args.directory)
+    artifacts = collect_artifacts(args.inputs)
+    document = build_sweep_trace(artifacts)
     if not document["traceEvents"]:
-        print(f"no trace artifacts in {args.directory}", file=sys.stderr)
+        print(f"no trace artifacts in {' '.join(args.inputs)}", file=sys.stderr)
         return 1
-    out = Path(args.output or (Path(args.directory) / "trace.json"))
+    first = Path(args.inputs[0])
+    base = first if first.is_dir() else first.parent
+    out = Path(args.output or (base / "trace.json"))
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(document) + "\n", encoding="utf-8")
+    summary = sweep_summary(artifacts)
+    summary_path = out.with_name("sweep_summary.json")
+    summary_path.write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
     print(
         f"wrote {out} ({len(document['traceEvents']):,} trace events) — "
         "load it at https://ui.perfetto.dev"
     )
+    print(f"wrote {summary_path}")
+    unlinked = summary.get("unlinked_spans", [])
+    if unlinked:
+        print(f"warning: {len(unlinked)} span(s) have unknown parents",
+              file=sys.stderr)
     return 0
 
 
@@ -106,23 +136,55 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     summarize = sub.add_parser(
-        "summarize", help="terminal summary of an --obs directory"
+        "summarize", help="terminal summary of obs artifacts"
     )
-    summarize.add_argument("directory", help="the run_all --obs output directory")
+    summarize.add_argument(
+        "inputs",
+        nargs="+",
+        help="--obs directories, globs, or individual artifact files",
+    )
     summarize.set_defaults(handler=_cmd_summarize)
 
     export = sub.add_parser(
-        "export", help="merge all traces into one Chrome trace-event JSON"
+        "export",
+        help="merge all traces into one Chrome trace-event JSON "
+        "(+ sweep_summary.json)",
     )
-    export.add_argument("directory", help="the run_all --obs output directory")
     export.add_argument(
-        "-o", "--output", default=None, help="output path (default: <dir>/trace.json)"
+        "inputs",
+        nargs="+",
+        help="--obs directories, globs, or individual artifact files",
+    )
+    export.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="output path (default: <first input dir>/trace.json)",
     )
     export.set_defaults(handler=_cmd_export)
+
+    from repro.obs.watch import add_watch_parser
+
+    add_watch_parser(sub)
+
+    sub.add_parser(
+        "trajectory",
+        help="perf-trajectory report / regression gate over BENCH_*.json "
+        "(see `python -m repro.obs trajectory --help`)",
+        add_help=False,
+    )
     return parser
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # `trajectory` owns its whole argument vector (argparse subparsers
+    # cannot hand leading options through untouched).
+    if argv and argv[0] == "trajectory":
+        from repro.obs import trajectory
+
+        return trajectory.main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.handler(args)
 

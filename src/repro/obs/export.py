@@ -145,8 +145,17 @@ def merge_trace_documents(
     documents: "Sequence[dict[str, object]]",
 ) -> "dict[str, object]":
     """Merge several trace documents into one; each input document's
-    process ids are remapped to a disjoint range so rows never collide."""
-    merged: "list[dict[str, object]]" = []
+    process ids are remapped to a disjoint range so rows never collide.
+
+    Inputs come from independent processes whose events interleave with
+    non-monotonic ``ts`` once concatenated, which trips strict trace
+    importers.  The merge therefore emits metadata events first (in
+    input order) and every timestamped event sorted by ``ts`` (stable,
+    so same-timestamp events keep their input order), with negative
+    timestamps clamped to 0.
+    """
+    metadata: "list[dict[str, object]]" = []
+    timed: "list[dict[str, object]]" = []
     next_pid = 1
     for document in documents:
         remap: "dict[object, int]" = {}
@@ -157,8 +166,20 @@ def merge_trace_documents(
                 remap[pid] = next_pid
                 next_pid += 1
             event["pid"] = remap[pid]
-            merged.append(event)
-    return {"traceEvents": merged, "displayTimeUnit": "ms"}
+            if event.get("ph") == "M":
+                metadata.append(event)
+                continue
+            ts = event.get("ts")
+            if isinstance(ts, (int, float)) and ts < 0:
+                event["ts"] = 0
+            timed.append(event)
+    timed.sort(key=_event_ts)
+    return {"traceEvents": metadata + timed, "displayTimeUnit": "ms"}
+
+
+def _event_ts(event: "dict[str, object]") -> float:
+    ts = event.get("ts")
+    return float(ts) if isinstance(ts, (int, float)) else 0.0
 
 
 def write_events_jsonl(

@@ -103,11 +103,22 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Approximate p-th percentile (p in [0, 100]) from buckets."""
+        """Approximate p-th percentile (p in [0, 100]) from buckets.
+
+        Edge contract: an empty histogram reports 0.0 for every
+        quantile; with one sample every quantile is *exactly* that
+        sample; p=0 is the exact minimum and p=100 the exact maximum —
+        the bucket-floor approximation only applies strictly inside
+        (0, 100) with two or more samples.
+        """
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         if self.count == 0:
             return 0.0
+        if self.count == 1 or p == 0.0:
+            return float(self.min)
+        if p == 100.0:
+            return float(self.max)
         rank = max(1, round(p / 100.0 * self.count))
         seen = 0
         for index in sorted(self.buckets):
@@ -115,6 +126,31 @@ class Histogram:
             if seen >= rank:
                 return float(self._bucket_floor(index))
         return float(self.max or 0)
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram in place (and return it).
+
+        Shards recorded independently (one histogram per worker) merge
+        into exactly the histogram a single recorder would have built:
+        bucket counts, count, total, min, and max all combine losslessly
+        as long as both sides share the same ``sub_buckets`` layout.
+        """
+        if other.sub_buckets != self.sub_buckets:
+            raise ValueError(
+                f"cannot merge histograms with sub_buckets="
+                f"{self.sub_buckets} and {other.sub_buckets}"
+            )
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+        self.count += other.count
+        self.total += other.total
+        for value in (other.min,):
+            if value is not None and (self.min is None or value < self.min):
+                self.min = value
+        for value in (other.max,):
+            if value is not None and (self.max is None or value > self.max):
+                self.max = value
+        return self
 
     def to_dict(self) -> "dict[str, object]":
         return {

@@ -281,6 +281,16 @@ class SimProbe:
         hierarchy = self._hierarchy
         if hierarchy is not None:
             info["hierarchy_stats"] = dict(vars(hierarchy.stats))
+        # Stamp the active trace context (the job's span when the
+        # scheduler/worker activated one) so per-job sim artifacts
+        # correlate with the scheduler spans in a merged trace.
+        from repro.obs import trace_context
+
+        ctx = trace_context.current()
+        if ctx is not None:
+            info["trace_id"] = ctx.trace_id
+            info["span_id"] = ctx.span_id
+            info["parent_span_id"] = ctx.parent_span_id
         info.update(meta)
         return ObsReport(
             meta=info,

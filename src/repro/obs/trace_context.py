@@ -1,0 +1,283 @@
+"""Cross-process trace context: every job becomes a causal span tree.
+
+A sweep mints one root :class:`TraceContext` (``trace_id`` + root
+``span_id``); each job's span id is *derived* from the trace id and the
+job's content hash with :func:`span_for_job`, so the service broker,
+the scheduler, and a spawned worker independently agree on the same
+span id without coordinating — the id is a pure function of what they
+all already know.
+
+Propagation uses two channels:
+
+* **process-level root** — held in a module global and mirrored into
+  the ``REPRO_TRACE`` environment variable, so spawned/forked children
+  inherit the sweep's trace without any payload changes (job payloads
+  are content-hashed; a trace id in ``params`` would split the cache);
+* **thread/worker activation** — :func:`activate` installs a context
+  as the *current* one for this thread (the scheduler activates the
+  job's context around execution; a worker process activates it on
+  entry), so :func:`phase` spans started inside kernel code parent to
+  the right job.
+
+:func:`phase` is the kernel-side hook: a context manager that records
+a named child span (wall-clock microseconds) into a bounded in-process
+buffer, drained by :func:`write_phases` into ``phases.jsonl`` next to
+the other obs artifacts.  :mod:`repro.obs.aggregate` stitches job
+spans and phase spans into one merged Perfetto trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+#: environment variable carrying the sweep root context to children
+TRACE_ENV = "REPRO_TRACE"
+
+#: hard cap on buffered phase spans (drops are counted, never grown)
+MAX_PHASES = 4096
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One span's identity inside a trace."""
+
+    trace_id: str  #: 32 hex chars, shared by every span of one sweep
+    span_id: str  #: 16 hex chars
+    parent_span_id: "str | None" = None
+
+    def to_dict(self) -> "dict[str, object]":
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_span_id": self.parent_span_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: "dict[str, object]") -> "TraceContext":
+        return cls(
+            trace_id=str(data["trace_id"]),
+            span_id=str(data["span_id"]),
+            parent_span_id=(
+                str(data["parent_span_id"])
+                if data.get("parent_span_id") is not None
+                else None
+            ),
+        )
+
+
+def _derive(*parts: str) -> str:
+    return hashlib.sha256("/".join(parts).encode("utf-8")).hexdigest()[:16]
+
+
+def mint_root(seed: "str | None" = None) -> TraceContext:
+    """A new root context: random trace id (or derived from ``seed``
+    for reproducible traces), root span derived from the trace id."""
+    if seed is not None:
+        trace_id = hashlib.sha256(seed.encode("utf-8")).hexdigest()[:32]
+    else:
+        trace_id = os.urandom(16).hex()
+    return TraceContext(trace_id=trace_id, span_id=_derive(trace_id, "sweep"))
+
+
+def span_for_job(trace_id: str, job_hash: str) -> str:
+    """The job's span id — deterministic, so every process that knows
+    the trace id and the job's content hash derives the same id."""
+    return _derive(trace_id, "job", job_hash)
+
+
+def job_context(root: TraceContext, job_hash: str) -> TraceContext:
+    """The job's context as a child span of the sweep root."""
+    return TraceContext(
+        trace_id=root.trace_id,
+        span_id=span_for_job(root.trace_id, job_hash),
+        parent_span_id=root.span_id,
+    )
+
+
+# -- process root + per-thread activation -------------------------------
+
+_lock = threading.Lock()
+_root: "TraceContext | None" = None
+_active = threading.local()
+_phases: "list[dict[str, object]]" = []
+_phase_seq = 0
+_phases_dropped = 0
+
+
+def _root_context() -> "TraceContext | None":
+    """The process root: the module global, else the inherited env."""
+    global _root
+    if _root is not None:
+        return _root
+    raw = os.environ.get(TRACE_ENV)
+    if raw:
+        try:
+            with _lock:
+                if _root is None:
+                    _root = TraceContext.from_dict(json.loads(raw))
+        except (ValueError, KeyError, TypeError):
+            return None
+    return _root
+
+
+def set_root(ctx: TraceContext) -> None:
+    """Install the process root and mirror it into the environment so
+    spawned/forked children inherit the sweep's trace."""
+    global _root
+    with _lock:
+        _root = ctx
+    os.environ[TRACE_ENV] = json.dumps(ctx.to_dict(), sort_keys=True)
+
+
+def current() -> "TraceContext | None":
+    """This thread's active context, else the process root, else None."""
+    ctx = getattr(_active, "ctx", None)
+    if ctx is not None:
+        return ctx
+    return _root_context()
+
+
+def ensure_current() -> TraceContext:
+    """Like :func:`current`, minting and installing a root if absent."""
+    ctx = current()
+    if ctx is None:
+        ctx = mint_root()
+        set_root(ctx)
+    return ctx
+
+
+def activate(ctx: TraceContext, env: bool = False) -> "TraceContext | None":
+    """Make ``ctx`` this thread's current context; returns the previous
+    activation for :func:`restore`.  With ``env`` the context also
+    becomes the process root (worker-process entry), so any process the
+    worker itself spawns inherits it."""
+    prev = getattr(_active, "ctx", None)
+    _active.ctx = ctx
+    if env:
+        set_root(ctx)
+    return prev
+
+
+def restore(prev: "TraceContext | None") -> None:
+    _active.ctx = prev
+
+
+@contextmanager
+def using(ctx: TraceContext):
+    prev = activate(ctx)
+    try:
+        yield ctx
+    finally:
+        restore(prev)
+
+
+def reset() -> None:
+    """Forget all trace state (tests)."""
+    global _root, _phase_seq, _phases_dropped
+    with _lock:
+        _root = None
+        _phases.clear()
+        _phase_seq = 0
+        _phases_dropped = 0
+    _active.ctx = None
+    os.environ.pop(TRACE_ENV, None)
+
+
+# -- phase spans ---------------------------------------------------------
+
+
+@contextmanager
+def phase(name: str, **args: object):
+    """Record a named child span of the current context.
+
+    Used by kernel code (L1-filter build/load, replay passes) — the
+    span parents to whatever job context the scheduler/worker
+    activated, lands in the bounded in-process buffer, and reaches
+    disk when the job writes its ``phases.jsonl``.
+    """
+    global _phase_seq, _phases_dropped
+    ctx = ensure_current()
+    with _lock:
+        _phase_seq += 1
+        seq = _phase_seq
+    span_id = _derive(ctx.span_id, "phase", name, str(seq))
+    start = time.time()
+    try:
+        yield
+    finally:
+        record: "dict[str, object]" = {
+            "name": name,
+            "trace_id": ctx.trace_id,
+            "span_id": span_id,
+            "parent_span_id": ctx.span_id,
+            "start_us": int(start * 1_000_000),
+            "dur_us": max(1, int((time.time() - start) * 1_000_000)),
+            "pid": os.getpid(),
+        }
+        if args:
+            record["args"] = dict(args)
+        with _lock:
+            if len(_phases) < MAX_PHASES:
+                _phases.append(record)
+            else:
+                _phases_dropped += 1
+
+
+def drain_phases() -> "list[dict[str, object]]":
+    """Take (and clear) every buffered phase record."""
+    with _lock:
+        records = list(_phases)
+        _phases.clear()
+    return records
+
+
+def phases_dropped() -> int:
+    return _phases_dropped
+
+
+def write_phases(path: "str | os.PathLike") -> int:
+    """Append all buffered phase records to a JSONL file; returns how
+    many were written.  One ``write`` per drain keeps concurrent
+    workers' appends line-atomic on POSIX."""
+    records = drain_phases()
+    if not records:
+        return 0
+    from pathlib import Path
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    blob = "".join(
+        json.dumps(record, sort_keys=True) + "\n" for record in records
+    )
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(blob)
+        handle.flush()
+    return len(records)
+
+
+def load_phases(path: "str | os.PathLike") -> "list[dict[str, object]]":
+    """Read a ``phases.jsonl`` file, skipping torn lines."""
+    from pathlib import Path
+
+    records: "list[dict[str, object]]" = []
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return records
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(data, dict) and "span_id" in data:
+            records.append(data)
+    return records

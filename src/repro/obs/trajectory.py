@@ -1,0 +1,407 @@
+"""Perf-trajectory regression gate over committed ``BENCH_*.json``.
+
+The throughput story of this repo lives in small JSON baselines
+(``benchmarks/BENCH_throughput.json``, ``BENCH_obs_overhead.json``):
+every perf-relevant PR re-measures and commits them, so ``git log``
+holds the whole performance trajectory.  This module turns that
+history into a gate:
+
+* collect every numeric leaf of each baseline file (dotted paths, e.g.
+  ``refs_per_sec.filtered``);
+* a metric is **gated** when its path contains ``speedup`` or lives
+  under ``refs_per_sec`` — those are higher-is-better throughput
+  numbers; everything else (counts, seconds, ``*_pct`` noise bands) is
+  reported but never fails the gate;
+* the **baseline** for a metric is its value in the latest commit that
+  touched the file *with the same workload context* (the top-level
+  ``workload`` string) — numbers measured at different scales are
+  never compared against each other;
+* the **current** value is the working-tree file, or a freshly
+  measured result overlaid via ``--measured`` (matched by basename);
+* with ``--check``, any gated metric that dropped more than
+  ``--threshold`` (default 10 %) below its baseline exits non-zero.
+
+CLI (also wired as ``python -m repro.obs trajectory``)::
+
+    python -m repro.obs trajectory --check
+    python -m repro.obs trajectory --measured BENCH_new.json \
+        --markdown trajectory.md --json trajectory.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+BASELINE_GLOB = "BENCH_*.json"
+DEFAULT_THRESHOLD = 0.10
+DEFAULT_MAX_HISTORY = 50
+REPORT_SCHEMA = "repro.obs/trajectory@1"
+
+
+def is_gated(path: str) -> bool:
+    """Is this dotted metric path throughput-gating (higher-better)?"""
+    return "speedup" in path or path.split(".", 1)[0] == "refs_per_sec"
+
+
+def flatten_numeric(
+    data: object, prefix: str = ""
+) -> "dict[str, float]":
+    """Numeric leaves of a JSON document as ``dotted.path -> value``."""
+    out: "dict[str, float]" = {}
+    if isinstance(data, dict):
+        for key, value in data.items():
+            sub = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten_numeric(value, sub))
+    elif isinstance(data, bool):
+        pass  # bool is an int subclass; flags are not metrics
+    elif isinstance(data, (int, float)):
+        out[prefix] = float(data)
+    return out
+
+
+def workload_context(data: object) -> str:
+    """The comparison context: numbers only compare within the same
+    workload string (scale changes change the workload)."""
+    if isinstance(data, dict):
+        return str(data.get("workload", ""))
+    return ""
+
+
+@dataclass
+class MetricEntry:
+    """One metric's trajectory within one baseline file."""
+
+    file: str  #: baseline basename
+    metric: str  #: dotted path
+    context: str  #: current workload string
+    current: float
+    gated: bool
+    baseline: "float | None" = None
+    baseline_commit: "str | None" = None
+    delta_pct: "float | None" = None  #: (current - baseline) / baseline
+    regressed: bool = False
+    history: "list[dict[str, object]]" = field(default_factory=list)
+
+    def to_dict(self) -> "dict[str, object]":
+        return {
+            "file": self.file,
+            "metric": self.metric,
+            "context": self.context,
+            "current": self.current,
+            "gated": self.gated,
+            "baseline": self.baseline,
+            "baseline_commit": self.baseline_commit,
+            "delta_pct": self.delta_pct,
+            "regressed": self.regressed,
+            "history": self.history,
+        }
+
+
+def compare_metrics(
+    current: "dict[str, float]",
+    current_context: str,
+    file_name: str,
+    history: "Sequence[tuple[str, dict]]",
+    threshold: float = DEFAULT_THRESHOLD,
+) -> "list[MetricEntry]":
+    """Pure comparison core: ``history`` is newest-first
+    ``(commit, parsed-json)`` snapshots of the baseline file."""
+    entries: "list[MetricEntry]" = []
+    flattened = [
+        (commit, workload_context(doc), flatten_numeric(doc))
+        for commit, doc in history
+    ]
+    for metric, value in sorted(current.items()):
+        entry = MetricEntry(
+            file=file_name,
+            metric=metric,
+            context=current_context,
+            current=value,
+            gated=is_gated(metric),
+        )
+        for commit, context, values in flattened:
+            if metric not in values:
+                continue
+            entry.history.append(
+                {"commit": commit, "value": values[metric], "context": context}
+            )
+            if entry.baseline is None and context == current_context:
+                entry.baseline = values[metric]
+                entry.baseline_commit = commit
+        if entry.baseline is not None and entry.baseline != 0:
+            entry.delta_pct = (value - entry.baseline) / abs(entry.baseline)
+            if entry.gated and entry.delta_pct < -threshold:
+                entry.regressed = True
+        entries.append(entry)
+    return entries
+
+
+# -- git plumbing --------------------------------------------------------
+
+
+def _git(args: "Sequence[str]", cwd: Path) -> "str | None":
+    try:
+        result = subprocess.run(
+            ["git", *args],
+            cwd=str(cwd),
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return result.stdout if result.returncode == 0 else None
+
+
+def file_history(
+    path: Path, max_history: int = DEFAULT_MAX_HISTORY
+) -> "list[tuple[str, dict]]":
+    """Newest-first ``(commit, parsed-json)`` snapshots of ``path`` from
+    git; empty when the file (or git itself) has no history."""
+    root_text = _git(["rev-parse", "--show-toplevel"], path.parent)
+    if not root_text:
+        return []
+    root = Path(root_text.strip())
+    try:
+        relpath = path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        return []
+    log = _git(
+        ["log", f"--max-count={max_history}", "--format=%H", "--", relpath],
+        root,
+    )
+    if not log:
+        return []
+    snapshots: "list[tuple[str, dict]]" = []
+    for sha in log.split():
+        blob = _git(["show", f"{sha}:{relpath}"], root)
+        if blob is None:
+            continue
+        try:
+            doc = json.loads(blob)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(doc, dict):
+            snapshots.append((sha, doc))
+    return snapshots
+
+
+# -- report assembly -----------------------------------------------------
+
+
+def find_baselines(root: "str | Path") -> "list[Path]":
+    """``BENCH_*.json`` in ``root`` and ``root/benchmarks``."""
+    root = Path(root)
+    found: "list[Path]" = []
+    for directory in (root, root / "benchmarks"):
+        if directory.is_dir():
+            found.extend(sorted(directory.glob(BASELINE_GLOB)))
+    # de-dup (root may *be* benchmarks/)
+    unique: "dict[Path, None]" = {}
+    for path in found:
+        unique.setdefault(path.resolve(), None)
+    return list(unique)
+
+
+def build_report(
+    baselines: "Sequence[Path]",
+    measured: "Sequence[Path]" = (),
+    threshold: float = DEFAULT_THRESHOLD,
+    max_history: int = DEFAULT_MAX_HISTORY,
+) -> "dict[str, object]":
+    """The full trajectory report over baseline files plus optional
+    freshly measured overlays (matched to baselines by basename)."""
+    overlays: "dict[str, dict]" = {}
+    for path in measured:
+        try:
+            doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(doc, dict):
+            overlays[Path(path).name] = doc
+
+    entries: "list[MetricEntry]" = []
+    files: "list[str]" = []
+    for path in baselines:
+        try:
+            committed = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(committed, dict):
+            continue
+        files.append(str(path))
+        history = file_history(path, max_history=max_history)
+        current = overlays.pop(path.name, committed)
+        entries.extend(
+            compare_metrics(
+                flatten_numeric(current),
+                workload_context(current),
+                path.name,
+                history,
+                threshold=threshold,
+            )
+        )
+    # measured files with no committed counterpart: first data points,
+    # nothing to compare against yet
+    for name, doc in sorted(overlays.items()):
+        files.append(name)
+        entries.extend(
+            compare_metrics(
+                flatten_numeric(doc), workload_context(doc), name, [],
+                threshold=threshold,
+            )
+        )
+
+    regressions = [e for e in entries if e.regressed]
+    return {
+        "schema": REPORT_SCHEMA,
+        "threshold": threshold,
+        "files": files,
+        "entries": [e.to_dict() for e in entries],
+        "regressions": [e.to_dict() for e in regressions],
+        "gated_metrics": sum(1 for e in entries if e.gated),
+        "compared_metrics": sum(
+            1 for e in entries if e.baseline is not None
+        ),
+        "ok": not regressions,
+    }
+
+
+def render_markdown(report: "dict[str, object]") -> str:
+    """The report as a PR-comment-ready markdown document."""
+    lines = ["# Performance trajectory", ""]
+    threshold = report["threshold"]
+    if report["ok"]:
+        lines.append(
+            f"**OK** — no gated metric regressed more than "
+            f"{threshold:.0%} vs its committed baseline."
+        )
+    else:
+        lines.append(
+            f"**REGRESSED** — {len(report['regressions'])} gated "
+            f"metric(s) dropped more than {threshold:.0%}:"
+        )
+        for entry in report["regressions"]:
+            lines.append(
+                f"- `{entry['file']}` `{entry['metric']}`: "
+                f"{entry['current']:g} vs {entry['baseline']:g} "
+                f"({entry['delta_pct']:+.1%}) at "
+                f"{(entry['baseline_commit'] or '')[:12]}"
+            )
+    lines.append("")
+    by_file: "dict[str, list[dict]]" = {}
+    for entry in report["entries"]:
+        by_file.setdefault(entry["file"], []).append(entry)
+    for file_name in sorted(by_file):
+        lines.append(f"## {file_name}")
+        lines.append("")
+        lines.append("| metric | current | baseline | delta | gate |")
+        lines.append("|---|---:|---:|---:|---|")
+        for entry in by_file[file_name]:
+            if entry["baseline"] is None:
+                base = "—"
+                delta = "—"
+            else:
+                base = f"{entry['baseline']:g}"
+                delta = (
+                    f"{entry['delta_pct']:+.1%}"
+                    if entry["delta_pct"] is not None
+                    else "—"
+                )
+            if not entry["gated"]:
+                gate = "info"
+            elif entry["regressed"]:
+                gate = "**FAIL**"
+            elif entry["baseline"] is None:
+                gate = "no baseline"
+            else:
+                gate = "ok"
+            lines.append(
+                f"| `{entry['metric']}` | {entry['current']:g} "
+                f"| {base} | {delta} | {gate} |"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+# -- CLI -----------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs trajectory",
+        description="perf-trajectory report and regression gate",
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=".",
+        help="repo root to scan for BENCH_*.json (default: .)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when any gated metric regressed",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative drop that counts as a regression (default 0.10)",
+    )
+    parser.add_argument(
+        "--measured",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="freshly measured JSON to overlay (matched by basename; "
+        "repeatable)",
+    )
+    parser.add_argument(
+        "--markdown", default=None, help="also write a markdown report here"
+    )
+    parser.add_argument("--json", default=None, help="also write JSON here")
+    parser.add_argument(
+        "--max-history",
+        type=int,
+        default=DEFAULT_MAX_HISTORY,
+        help="commits of history to walk per file (default 50)",
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    baselines = find_baselines(args.root)
+    report = build_report(
+        baselines,
+        measured=[Path(p) for p in args.measured],
+        threshold=args.threshold,
+        max_history=args.max_history,
+    )
+    markdown = render_markdown(report)
+    print(markdown)
+    if args.markdown:
+        Path(args.markdown).write_text(markdown + "\n", encoding="utf-8")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if not report["files"]:
+        print("no BENCH_*.json baselines found", file=sys.stderr)
+        return 0
+    if args.check and not report["ok"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,11 @@ class JobEvent:
     duration: "float | None" = None  #: seconds, on finished/failed
     references: "int | None" = None  #: trace references simulated
     error: "str | None" = None
+    #: cross-process trace correlation (see repro.obs.trace_context):
+    #: the sweep's trace id, this job's span, and the span it parents to
+    trace_id: "str | None" = None
+    span_id: "str | None" = None
+    parent_span_id: "str | None" = None
 
     def __post_init__(self) -> None:
         if self.event not in EVENT_KINDS:

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 from repro import faults
+from repro.obs import trace_context
 from repro.runtime.cache import ResultCache
 from repro.runtime.checkpoint import SweepCheckpoint
 from repro.runtime.events import EventBus, JobEvent, StderrSink
@@ -184,10 +185,19 @@ def _execute(job: Job, profile_dir: "str | None"):
         profiler.dump_stats(str(path))
 
 
-def _worker_main(job: Job, conn, profile_dir: "str | None" = None) -> None:
+def _worker_main(
+    job: Job,
+    conn,
+    profile_dir: "str | None" = None,
+    trace: "trace_context.TraceContext | None" = None,
+) -> None:
     """Worker-process entry: run the job, ship the result, exit."""
     try:
         faults.fire("runtime.worker.start")
+        if trace is not None:
+            # Adopt the job's span as this process's context (env too,
+            # so anything the worker spawns inherits the sweep trace).
+            trace_context.activate(trace, env=True)
         payload, duration = _execute(job, profile_dir)
         conn.send(("ok", payload, duration))
     except BaseException as exc:  # noqa: BLE001 - must cross the pipe
@@ -224,6 +234,7 @@ class ExperimentRuntime:
         self.checkpoint = checkpoint
         self.stats = RunStats()
         self._stats_lock = threading.Lock()
+        self._trace_root: "trace_context.TraceContext | None" = None
 
     # -- public API -----------------------------------------------------
 
@@ -277,9 +288,30 @@ class ExperimentRuntime:
 
     # -- shared helpers -------------------------------------------------
 
+    def _root(self) -> "trace_context.TraceContext":
+        """The sweep's root span: adopted from whoever activated a
+        context first (the service broker, an enclosing sweep via the
+        environment), minted here otherwise.  Captured once so serial
+        job activations never re-parent later events."""
+        if self._trace_root is None:
+            self._trace_root = trace_context.ensure_current()
+        return self._trace_root
+
+    def _job_trace(self, job: Job) -> "trace_context.TraceContext":
+        return trace_context.job_context(self._root(), job.hash)
+
     def _emit(self, kind: str, job: Job, **extra: object) -> None:
+        root = self._root()
         self.bus.emit(
-            JobEvent(event=kind, label=job.name, job_hash=job.hash, **extra)
+            JobEvent(
+                event=kind,
+                label=job.name,
+                job_hash=job.hash,
+                trace_id=root.trace_id,
+                span_id=trace_context.span_for_job(root.trace_id, job.hash),
+                parent_span_id=root.span_id,
+                **extra,
+            )
         )
 
     def _cached_outcome(self, job: Job) -> "JobOutcome | None":
@@ -358,8 +390,14 @@ class ExperimentRuntime:
                 outcomes.append(cached)
                 continue
             self._emit("started", job)
+            # The job's span is this thread's context while it runs, so
+            # phase spans recorded inside kernels parent to this job.
+            prev_trace = trace_context.activate(self._job_trace(job))
             try:
-                payload, duration = _execute(job, self.config.profile_dir)
+                try:
+                    payload, duration = _execute(job, self.config.profile_dir)
+                finally:
+                    trace_context.restore(prev_trace)
             except KeyboardInterrupt:
                 interrupted_at = i
                 break
@@ -467,7 +505,7 @@ class ExperimentRuntime:
         receiver, sender = context.Pipe(duplex=False)
         process = context.Process(
             target=_worker_main,
-            args=(job, sender, self.config.profile_dir),
+            args=(job, sender, self.config.profile_dir, self._job_trace(job)),
             daemon=True,
         )
         process.start()

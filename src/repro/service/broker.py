@@ -38,6 +38,7 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 from repro import faults
+from repro.obs import trace_context
 from repro.runtime.cache import ResultCache
 from repro.runtime.events import EventBus, JobEvent, JsonlSink, StderrSink, event_record
 from repro.runtime.health import health_snapshot
@@ -130,12 +131,18 @@ class JobBroker:
         self._draining = False
         self._inflight = 0
         self.started_at: "float | None" = None
+        self.trace_root: "trace_context.TraceContext | None" = None
 
     # -- lifecycle ------------------------------------------------------
 
     async def start(self) -> None:
         """Bind to the running loop and spawn the worker slots."""
         self._loop = asyncio.get_running_loop()
+        # One trace id for this service instance: the shared scheduler
+        # stamps every JobEvent with it, and service-synthesised events
+        # derive the identical per-job span ids (span_for_job), so
+        # admission and execution correlate without coordination.
+        self.trace_root = trace_context.ensure_current()
         self._queue = asyncio.Queue(maxsize=self.config.queue_capacity)
         self.runtime.bus.add(LoopSink(self._loop, self._on_job_event))
         self._executor = ThreadPoolExecutor(
@@ -185,7 +192,9 @@ class JobBroker:
             payload = self.runtime.cache.get(job)
             if payload is not None:
                 record = JobRecord(job, tenant)
-                record.add_event(service_event("cache-hit", job))
+                record.add_event(
+                    service_event("cache-hit", job, trace=self._job_trace(job))
+                )
                 record.finish(
                     FINISHED, JobOutcome(job=job, status=CACHED, payload=payload)
                 )
@@ -197,7 +206,7 @@ class JobBroker:
             self.metrics.rejected(tenant)
             raise BackpressureError(retry_after=self.config.retry_after)
         record = JobRecord(job, tenant)
-        record.add_event(service_event("queued", job))
+        record.add_event(service_event("queued", job, trace=self._job_trace(job)))
         self._store(record)
         self._queue.put_nowait(record)
         self.metrics.submission(tenant, SUBMITTED)
@@ -206,6 +215,11 @@ class JobBroker:
 
     def get(self, job_hash: str) -> "JobRecord | None":
         return self._records.get(job_hash)
+
+    def _job_trace(self, job: Job) -> "trace_context.TraceContext | None":
+        if self.trace_root is None:
+            return None
+        return trace_context.job_context(self.trace_root, job.hash)
 
     def _store(self, record: JobRecord) -> None:
         self._records[record.job.hash] = record
@@ -247,7 +261,14 @@ class JobBroker:
                 )
             except Exception as exc:  # noqa: BLE001 - slot must survive
                 error = f"{type(exc).__name__}: {exc}"
-                record.add_event(service_event("failed", record.job, error=error))
+                record.add_event(
+                    service_event(
+                        "failed",
+                        record.job,
+                        trace=self._job_trace(record.job),
+                        error=error,
+                    )
+                )
                 outcome = JobOutcome(
                     job=record.job, status=OUTCOME_FAILED, error=error
                 )
@@ -308,7 +329,11 @@ class JobBroker:
                 break
             if record.terminal:
                 continue
-            record.add_event(service_event("cancelled", record.job))
+            record.add_event(
+                service_event(
+                    "cancelled", record.job, trace=self._job_trace(record.job)
+                )
+            )
             record.finish(CANCELLED)
             self.metrics.finished(
                 CANCELLED, 0.0, time.time() - record.submitted_at
@@ -329,7 +354,11 @@ class JobBroker:
         # truth rather than hang.
         for record in self._records.values():
             if not record.terminal:
-                record.add_event(service_event("cancelled", record.job))
+                record.add_event(
+                service_event(
+                    "cancelled", record.job, trace=self._job_trace(record.job)
+                )
+            )
                 record.finish(CANCELLED)
                 self.metrics.finished(
                     CANCELLED, 0.0, time.time() - record.submitted_at
@@ -420,4 +449,9 @@ class JobBroker:
             },
             "metrics": self.metrics.snapshot(),
             "health": health_snapshot(),
+            "trace_id": (
+                self.trace_root.trace_id
+                if self.trace_root is not None
+                else None
+            ),
         }

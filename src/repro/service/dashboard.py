@@ -1,0 +1,281 @@
+"""The service's human and scrape-facing views of ``broker.status()``.
+
+Two renderers over the same status dict, both stdlib-only:
+
+* :func:`prometheus_text` — the ``GET /metrics`` body in Prometheus
+  text exposition format (version 0.0.4): every counter/gauge from the
+  service registry, histograms as ``_count``/``_sum`` plus quantile
+  samples, the runtime roll-up, fault/recovery health counters, and
+  the load gauges (queue depth, in-flight, backpressure state).  Names
+  are sanitised to ``repro_<section>_<metric>``.
+* :func:`dashboard_html` — the ``GET /dashboard`` page: a
+  self-refreshing static HTML table set (no JS frameworks, no external
+  assets) showing uptime, queue/in-flight load, cache hit ratio,
+  admission split, and p50/p99 latency — enough to watch a sweep
+  land without leaving the terminal's browser.
+"""
+
+from __future__ import annotations
+
+import html
+import re
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+#: histogram quantiles exposed as Prometheus summary-style samples
+_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+
+def _metric_name(*parts: str) -> str:
+    joined = "_".join(p for p in parts if p)
+    name = _NAME_RE.sub("_", joined)
+    if not name.startswith("repro_"):
+        name = "repro_" + name
+    return re.sub(r"__+", "_", name).strip("_")
+
+
+def _sample(name: str, value: object, labels: str = "") -> str:
+    try:
+        number = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        number = 0.0
+    if number == int(number):
+        rendered = str(int(number))
+    else:
+        rendered = repr(number)
+    return f"{name}{labels} {rendered}"
+
+
+def prometheus_text(status: "dict[str, object]") -> str:
+    """Render one ``broker.status()`` dict as Prometheus exposition
+    text.  Pure function of its input — callable off-loop, testable
+    without a socket."""
+    lines: "list[str]" = []
+
+    def emit(name: str, kind: str, value: object) -> None:
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(_sample(name, value))
+
+    service = status.get("service", {})
+    if isinstance(service, dict):
+        emit("repro_service_uptime_seconds", "gauge", service.get("uptime_s", 0))
+        emit(
+            "repro_service_draining",
+            "gauge",
+            1 if service.get("draining") else 0,
+        )
+        emit("repro_service_workers", "gauge", service.get("workers", 0))
+        emit(
+            "repro_service_queue_capacity",
+            "gauge",
+            service.get("queue_capacity", 0),
+        )
+        records = service.get("records", {})
+        if isinstance(records, dict):
+            name = "repro_service_records"
+            lines.append(f"# TYPE {name} gauge")
+            for state, count in sorted(records.items()):
+                if state == "total":
+                    continue
+                lines.append(_sample(name, count, f'{{state="{state}"}}'))
+
+    metrics = status.get("metrics", {})
+    if isinstance(metrics, dict):
+        for raw_name, metric in sorted(metrics.items()):
+            if not isinstance(metric, dict):
+                continue
+            kind = metric.get("type")
+            name = _metric_name(raw_name)
+            if kind == "counter":
+                lines.append(f"# TYPE {name}_total counter")
+                lines.append(_sample(f"{name}_total", metric.get("value", 0)))
+            elif kind == "gauge":
+                emit(name, "gauge", metric.get("value", 0))
+            elif kind == "histogram":
+                lines.append(f"# TYPE {name} summary")
+                for quantile, key in _QUANTILES:
+                    lines.append(
+                        _sample(
+                            name,
+                            metric.get(key, 0),
+                            f'{{quantile="{quantile}"}}',
+                        )
+                    )
+                lines.append(_sample(f"{name}_sum", metric.get("total", 0)))
+                lines.append(_sample(f"{name}_count", metric.get("count", 0)))
+
+    runtime = status.get("runtime", {})
+    if isinstance(runtime, dict):
+        for key, value in sorted(runtime.items()):
+            if isinstance(value, (int, float)):
+                kind = "gauge" if key == "wall_time" else "counter"
+                name = _metric_name("runtime", key)
+                if kind == "counter":
+                    lines.append(f"# TYPE {name}_total counter")
+                    lines.append(_sample(f"{name}_total", value))
+                else:
+                    emit(name, "gauge", value)
+
+    health = status.get("health", {})
+    if isinstance(health, dict):
+        for key, value in sorted(health.items()):
+            name = _metric_name("health", key)
+            lines.append(f"# TYPE {name}_total counter")
+            lines.append(_sample(f"{name}_total", value))
+
+    cache = status.get("cache", {})
+    if isinstance(cache, dict):
+        emit(
+            "repro_cache_entries",
+            "gauge",
+            cache.get("current_entries", 0),
+        )
+
+    return "\n".join(lines) + "\n"
+
+
+# -- the HTML dashboard --------------------------------------------------
+
+
+def _counter(metrics: "dict[str, object]", name: str) -> float:
+    metric = metrics.get(name)
+    if isinstance(metric, dict) and isinstance(
+        metric.get("value"), (int, float)
+    ):
+        return float(metric["value"])
+    return 0.0
+
+
+def _hist(metrics: "dict[str, object]", name: str) -> "dict[str, object]":
+    metric = metrics.get(name)
+    return metric if isinstance(metric, dict) else {}
+
+
+def _rows(pairs: "list[tuple[str, object]]") -> str:
+    return "\n".join(
+        f"<tr><td>{html.escape(str(k))}</td>"
+        f"<td class='num'>{html.escape(str(v))}</td></tr>"
+        for k, v in pairs
+    )
+
+
+def _fmt_us(value: object) -> str:
+    if not isinstance(value, (int, float)):
+        return "-"
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:,.2f} s"
+    if value >= 1_000:
+        return f"{value / 1_000:,.1f} ms"
+    return f"{value:,.0f} us"
+
+
+def dashboard_html(status: "dict[str, object]", refresh_s: int = 2) -> str:
+    """The ``GET /dashboard`` page for one status snapshot."""
+    service = status.get("service", {}) or {}
+    metrics = status.get("metrics", {}) or {}
+    runtime = status.get("runtime", {}) or {}
+    health = status.get("health", {}) or {}
+
+    submissions = _counter(metrics, "service.submissions")
+    cache_hits = _counter(metrics, "service.cache_hits")
+    dedup_hits = _counter(metrics, "service.dedup_hits")
+    served_cheap = cache_hits + dedup_hits
+    hit_ratio = served_cheap / submissions if submissions else 0.0
+    depth = int(_counter(metrics, "service.queue_depth"))
+    capacity = int(service.get("queue_capacity", 0) or 0)
+    backpressure = (
+        "REJECTING (queue full)"
+        if capacity and depth >= capacity
+        else ("draining" if service.get("draining") else "accepting")
+    )
+
+    load_rows = _rows(
+        [
+            ("state", backpressure),
+            ("uptime", f"{float(service.get('uptime_s', 0.0)):,.0f} s"),
+            ("queue depth", f"{depth} / {capacity}"),
+            ("in flight", int(_counter(metrics, "service.inflight"))),
+            ("workers", service.get("workers", 0)),
+            ("trace id", status.get("trace_id", "-")),
+        ]
+    )
+    admission_rows = _rows(
+        [
+            ("submissions", int(submissions)),
+            ("enqueued (cold)", int(_counter(metrics, "service.enqueued"))),
+            ("dedup attach", int(dedup_hits)),
+            ("cache hits", int(cache_hits)),
+            ("cache+dedup ratio", f"{hit_ratio:.1%}"),
+            ("rejected (429)", int(_counter(metrics, "service.rejected"))),
+        ]
+    )
+    outcome_rows = _rows(
+        [
+            ("executed", int(_counter(metrics, "service.executed"))),
+            ("failed", int(_counter(metrics, "service.failed"))),
+            ("cancelled", int(_counter(metrics, "service.cancelled"))),
+            ("references replayed", f"{int(runtime.get('references', 0) or 0):,}"),
+            (
+                "fault recoveries",
+                sum(
+                    int(v)
+                    for k, v in health.items()
+                    if k.startswith("recovery.") and isinstance(v, (int, float))
+                ),
+            ),
+        ]
+    )
+    latency_rows = []
+    for title, name in (
+        ("queue wait", "service.queue_wait_us"),
+        ("run", "service.run_us"),
+        ("end-to-end", "service.latency_us"),
+    ):
+        hist = _hist(metrics, name)
+        latency_rows.append(
+            (f"{title} p50", _fmt_us(hist.get("p50")))
+        )
+        latency_rows.append(
+            (f"{title} p99", _fmt_us(hist.get("p99")))
+        )
+    latency = _rows(latency_rows)
+
+    def table(title: str, rows: str) -> str:
+        return (
+            f"<div class='card'><h2>{html.escape(title)}</h2>"
+            f"<table>{rows}</table></div>"
+        )
+
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="{refresh_s}">
+<title>repro.service dashboard</title>
+<style>
+body {{ font-family: ui-monospace, Menlo, Consolas, monospace;
+       background: #111; color: #ddd; margin: 2em; }}
+h1 {{ font-size: 1.2em; }} h2 {{ font-size: 1em; color: #9cf; }}
+.cards {{ display: flex; flex-wrap: wrap; gap: 1.5em; }}
+.card {{ background: #1b1b1b; border: 1px solid #333; padding: 1em;
+        border-radius: 6px; min-width: 18em; }}
+table {{ border-collapse: collapse; width: 100%; }}
+td {{ padding: 0.15em 0.6em 0.15em 0; border-bottom: 1px solid #262626; }}
+td.num {{ text-align: right; color: #fff; }}
+footer {{ margin-top: 1.5em; color: #777; font-size: 0.85em; }}
+</style>
+</head>
+<body>
+<h1>repro.service — execution-migration sweep service</h1>
+<div class="cards">
+{table("load", load_rows)}
+{table("admission", admission_rows)}
+{table("outcomes", outcome_rows)}
+{table("latency", latency)}
+</div>
+<footer>auto-refreshes every {refresh_s}s —
+<a href="/metrics" style="color:#9cf">/metrics</a> ·
+<a href="/status" style="color:#9cf">/status</a></footer>
+</body>
+</html>
+"""

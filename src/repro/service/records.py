@@ -164,11 +164,16 @@ class Submission:
 
 
 def service_event(
-    event: str, job: Job, **extra: object
+    event: str, job: Job, trace=None, **extra: object
 ) -> "dict[str, object]":
     """A service-synthesised event record in the run-log wire shape
     (``queued`` at admission, ``cancelled`` on drain) — same keys as
-    the bridged scheduler events so one JSONL stream stays uniform."""
+    the bridged scheduler events so one JSONL stream stays uniform.
+
+    ``trace`` (a :class:`~repro.obs.trace_context.TraceContext` for the
+    job) stamps the correlation ids; the span id is derived from the
+    job hash exactly as the scheduler derives it, so admission events
+    and execution events land on the *same* span."""
     record: "dict[str, object]" = {
         "event": event,
         "label": job.name,
@@ -180,5 +185,9 @@ def service_event(
         "error": None,
         "refs_per_sec": None,
     }
+    if trace is not None:
+        record["trace_id"] = trace.trace_id
+        record["span_id"] = trace.span_id
+        record["parent_span_id"] = trace.parent_span_id
     record.update(extra)
     return record

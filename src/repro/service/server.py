@@ -6,7 +6,9 @@ Endpoints (all JSON in, JSON out; one request per connection)::
     POST /sweeps              submit a batch / a named experiment sweep
     GET  /jobs/<hash>         one job's state (+ payload when finished)
     GET  /jobs/<hash>/events  streaming JSONL: history replay + live tail
-    GET  /status              dashboard: queue, cache, runtime, metrics
+    GET  /status              machine dashboard: queue, cache, runtime
+    GET  /metrics             Prometheus text exposition of the same
+    GET  /dashboard           human dashboard (self-refreshing HTML)
     GET  /healthz             liveness probe
 
 The protocol layer is deliberately tiny — request line, headers,
@@ -146,6 +148,22 @@ def response_bytes(
     return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
 
 
+def raw_response_bytes(
+    status: int, body: str, content_type: str
+) -> bytes:
+    """A non-JSON response (``/metrics`` text exposition, ``/dashboard``
+    HTML) with the same close-per-request framing."""
+    encoded = body.encode("utf-8")
+    head = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(encoded)}",
+        "Cache-Control: no-store",
+        "Connection: close",
+    ]
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + encoded
+
+
 def stream_head_bytes() -> bytes:
     return (
         "HTTP/1.1 200 OK\r\n"
@@ -268,6 +286,28 @@ class ServiceServer:
         if path == "/status" and method == "GET":
             writer.write(response_bytes(200, self.broker.status()))
             return 200
+        if path == "/metrics" and method == "GET":
+            from repro.service.dashboard import prometheus_text
+
+            writer.write(
+                raw_response_bytes(
+                    200,
+                    prometheus_text(self.broker.status()),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            )
+            return 200
+        if path == "/dashboard" and method == "GET":
+            from repro.service.dashboard import dashboard_html
+
+            writer.write(
+                raw_response_bytes(
+                    200,
+                    dashboard_html(self.broker.status()),
+                    "text/html; charset=utf-8",
+                )
+            )
+            return 200
         if path == "/healthz" and method == "GET":
             writer.write(
                 response_bytes(
@@ -275,9 +315,14 @@ class ServiceServer:
                 )
             )
             return 200
-        if path in ("/jobs", "/sweeps", "/status", "/healthz") or (
-            match is not None
-        ):
+        if path in (
+            "/jobs",
+            "/sweeps",
+            "/status",
+            "/metrics",
+            "/dashboard",
+            "/healthz",
+        ) or (match is not None):
             raise HttpError(405, f"{method} not supported on {path}")
         raise HttpError(404, f"no route for {path}")
 

@@ -22,6 +22,18 @@ if _hypothesis_settings is not None:
         _hypothesis_settings.load_profile(_profile)
 
 
+@pytest.fixture(autouse=True)
+def _pristine_trace_context():
+    """Reset the process trace context (global root, REPRO_TRACE env,
+    phase buffer) around every test, so a test that mints a sweep root
+    never leaks correlation ids into the next one."""
+    from repro.obs import trace_context
+
+    trace_context.reset()
+    yield
+    trace_context.reset()
+
+
 @pytest.fixture(autouse=True, scope="session")
 def _isolated_cache_root(tmp_path_factory):
     """Point the default result cache at a session-temporary directory.

@@ -1,0 +1,110 @@
+"""Satellite acceptance smoke: a parallel ``run_all --obs`` sweep must
+produce ONE merged Perfetto trace in which every job span is causally
+linked across process boundaries — including when a worker is
+crash-killed mid-sweep and the job is retried in a fresh process."""
+
+import json
+
+from repro import faults
+from repro.experiments.run_all import main as run_all_main
+from repro.faults import FaultPlan, FaultSpec
+from repro.runtime.health import reset_health
+
+#: the two cheapest Olden workloads, scaled way down: enough to fan
+#: out over two worker processes without making the suite crawl
+RUN_ARGS = [
+    "--only",
+    "table2",
+    "--workloads",
+    "mst",
+    "bh",
+    "--scale",
+    "0.05",
+    "--jobs",
+    "2",
+    "--no-cache",
+    "--quiet",
+]
+
+
+def _run_sweep(obs_dir):
+    rc = run_all_main([*RUN_ARGS, "--obs", str(obs_dir)])
+    assert rc == 0
+    summary = json.loads(
+        (obs_dir / "sweep_summary.json").read_text(encoding="utf-8")
+    )
+    trace = json.loads((obs_dir / "trace.json").read_text(encoding="utf-8"))
+    return summary, trace
+
+
+def _assert_causally_linked(summary, trace):
+    # One sweep, one trace id, one root span.
+    assert len(summary["traces"]) == 1
+    ((trace_id, root),) = summary["traces"].items()
+
+    # Every job span parents to the sweep root and carries the trace id;
+    # the summary's own linkage audit found no dangling parents.
+    spans = summary["spans"]
+    assert spans, "no job spans reconstructed"
+    for span in spans:
+        assert span["trace_id"] == trace_id
+        assert span["parent_span_id"] == root["root_span_id"]
+    assert summary["unlinked_spans"] == []
+
+    # Kernel phases ran in *worker* processes, the scheduler events in
+    # the parent: the merged trace must contain them all with parents
+    # resolvable inside the one document.
+    events = trace["traceEvents"]
+    known = set()
+    for event in events:
+        span_id = (event.get("args") or {}).get("span_id")
+        if span_id:
+            known.add(span_id)
+    linked = 0
+    for event in events:
+        parent = (event.get("args") or {}).get("parent_span_id")
+        if parent is not None:
+            assert parent in known, f"dangling parent in {event['name']}"
+            linked += 1
+    assert linked > 0
+    phase_events = [e for e in events if e.get("cat") == "phase"]
+    assert phase_events, "kernel phase spans missing from merged trace"
+
+    # The merge respected the importer contract: metadata first, then
+    # non-decreasing non-negative timestamps.
+    timed = [e.get("ts", 0) for e in events if e.get("ph") != "M"]
+    assert timed == sorted(timed)
+    assert all(ts >= 0 for ts in timed)
+
+
+def test_parallel_sweep_spans_link_across_processes(tmp_path):
+    summary, trace = _run_sweep(tmp_path / "obs")
+    _assert_causally_linked(summary, trace)
+
+    jobs = summary["jobs"]
+    assert jobs["finished"] == jobs["jobs"] > 0
+    assert jobs["failed"] == 0
+    stages = summary["stages"]
+    assert stages["queue_wait_us"]["count"] == jobs["jobs"]
+    assert stages["execute_us"]["count"] == jobs["jobs"]
+    assert any(name.startswith("phase.") for name in stages)
+
+
+def test_spans_survive_injected_crash_retry(tmp_path):
+    # Kill the second worker launch with the OOM-killer stand-in from
+    # repro.faults: the job retries in a fresh process, and its span
+    # must still stitch into the same sweep tree.
+    reset_health()
+    faults.install(FaultPlan.of(FaultSpec(site="runtime.worker.kill", action="crash", nth=2)))
+    try:
+        summary, trace = _run_sweep(tmp_path / "obs")
+    finally:
+        faults.uninstall()
+
+    _assert_causally_linked(summary, trace)
+    jobs = summary["jobs"]
+    assert jobs["finished"] == jobs["jobs"] > 0
+    assert jobs["crash_retries"] >= 1
+    assert jobs["fault_recoveries"] >= 1
+    retried = [s for s in summary["spans"] if s["retries"]]
+    assert retried and all(s["status"] == "finished" for s in retried)

@@ -37,6 +37,14 @@ def obs_dir(tmp_path):
     sink = ObsRunlogSink(tmp_path / "runtime.jsonl")
     sink.emit(
         JobEvent(
+            event="started",
+            label="table2/mst",
+            job_hash="h",
+            timestamp=99.0,
+        )
+    )
+    sink.emit(
+        JobEvent(
             event="finished",
             label="table2/mst",
             job_hash="h",
@@ -69,11 +77,33 @@ class TestSummarize:
         assert "mst/chip" in out
         assert ev.MIGRATION_COMMIT in out
         assert "chip counters" in out
-        assert "scheduler events bridged: 1" in out
+        assert "scheduler events bridged: 2" in out
 
     def test_empty_directory_fails(self, tmp_path, capsys):
         assert main(["summarize", str(tmp_path)]) == 1
-        assert "no *.metrics.json" in capsys.readouterr().err
+        assert "no obs artifacts" in capsys.readouterr().err
+
+    def test_accepts_globs_and_files(self, obs_dir, capsys):
+        # Satellite contract: summarize takes any mix of directories,
+        # shell globs, and individual artifact files.
+        assert (
+            main(
+                [
+                    "summarize",
+                    str(obs_dir / "*.metrics.json"),
+                    str(obs_dir / "runtime.jsonl"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "mst/chip" in out
+        assert "scheduler events bridged: 2" in out
+
+    def test_runlog_only_inputs_summarize_stages(self, obs_dir, capsys):
+        assert main(["summarize", str(obs_dir / "runtime.jsonl")]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler events bridged: 2" in out
 
 
 class TestExport:

@@ -101,6 +101,48 @@ class TestChromeTrace:
         pids = {e["pid"] for e in merged["traceEvents"]}
         assert len(pids) == 2
 
+    def test_merge_orders_metadata_first_then_sorted_ts(self):
+        # Two run logs whose events interleave non-monotonically once
+        # concatenated: the merged document must put every metadata
+        # event first and every timed event in ts order, or strict
+        # Perfetto importers reject it.
+        d1 = {
+            "traceEvents": [
+                {"name": "process_name", "ph": "M", "pid": 1, "args": {}},
+                {"name": "late", "ph": "X", "pid": 1, "ts": 900, "dur": 5},
+                {"name": "early", "ph": "X", "pid": 1, "ts": 10, "dur": 5},
+            ]
+        }
+        d2 = {
+            "traceEvents": [
+                {"name": "mid", "ph": "i", "s": "t", "pid": 1, "ts": 400},
+                {"name": "process_name", "ph": "M", "pid": 1, "args": {}},
+            ]
+        }
+        merged = merge_trace_documents([d1, d2])["traceEvents"]
+        phs = [e["ph"] for e in merged]
+        assert phs == sorted(phs, key=lambda p: p != "M")  # M block first
+        timed = [e["ts"] for e in merged if e["ph"] != "M"]
+        assert timed == sorted(timed)
+        assert [e["name"] for e in merged if e["ph"] != "M"] == [
+            "early",
+            "mid",
+            "late",
+        ]
+
+    def test_merge_clamps_negative_ts_and_keeps_stable_order(self):
+        doc = {
+            "traceEvents": [
+                {"name": "a", "ph": "X", "pid": 1, "ts": -50, "dur": 1},
+                {"name": "b", "ph": "X", "pid": 1, "ts": -10, "dur": 1},
+                {"name": "c", "ph": "i", "s": "t", "pid": 1, "ts": 0},
+            ]
+        }
+        merged = merge_trace_documents([doc])["traceEvents"]
+        assert all(e["ts"] >= 0 for e in merged)
+        # All three collapse to ts=0; the stable sort keeps input order.
+        assert [e["name"] for e in merged] == ["a", "b", "c"]
+
 
 class TestArtifacts:
     def test_events_jsonl_round_trip(self, tmp_path):

@@ -3,6 +3,8 @@
 import json
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.obs.metrics import (
     Counter,
@@ -68,6 +70,79 @@ class TestHistogram:
         for v in (7, 70, 700):
             h.record(v)
         json.dumps(h.to_dict())
+
+    def test_single_sample_quantiles_are_exact(self):
+        # One queue-wait sample is common (a one-job sweep); every
+        # quantile of it must be that sample, not a bucket floor.
+        h = Histogram()
+        h.record(1234)
+        for p in (0, 50, 99, 100):
+            assert h.percentile(p) == 1234.0
+
+    def test_p0_and_p100_are_exact_extremes(self):
+        h = Histogram()
+        for v in (17, 500, 9001):
+            h.record(v)
+        assert h.percentile(0) == 17.0
+        assert h.percentile(100) == 9001.0
+
+    def test_empty_extreme_quantiles_are_zero(self):
+        assert Histogram().percentile(0) == 0.0
+        assert Histogram().percentile(100) == 0.0
+
+
+class TestHistogramMerge:
+    def test_merge_equals_concatenated_recording(self):
+        a, b, combined = Histogram(), Histogram(), Histogram()
+        for v in (1, 5, 42):
+            a.record(v)
+            combined.record(v)
+        for v in (7, 9001):
+            b.record(v)
+            combined.record(v)
+        a.merge(b)
+        assert a.to_dict() == combined.to_dict()
+
+    def test_merge_returns_self_and_accepts_empty(self):
+        a = Histogram()
+        a.record(3)
+        before = a.to_dict()
+        assert a.merge(Histogram()) is a
+        assert a.to_dict() == before
+
+    def test_merge_into_empty(self):
+        a, b = Histogram(), Histogram()
+        b.record(8)
+        a.merge(b)
+        assert a.count == 1
+        assert a.min == 8 and a.max == 8
+
+    def test_merge_layout_mismatch_raises(self):
+        with pytest.raises(ValueError, match="sub_buckets"):
+            Histogram(sub_buckets=16).merge(Histogram(sub_buckets=32))
+
+    @given(
+        shards=st.lists(
+            st.lists(st.integers(min_value=0, max_value=10**9), max_size=30),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_merge_of_shards_equals_histogram_of_concatenation(self, shards):
+        # The sweep summary merges per-worker histograms; the result
+        # must be indistinguishable from one histogram that saw every
+        # sample — for any sharding.
+        merged = Histogram()
+        combined = Histogram()
+        for shard in shards:
+            h = Histogram()
+            for v in shard:
+                h.record(v)
+                combined.record(v)
+            merged.merge(h)
+        assert merged.to_dict() == combined.to_dict()
+        for p in (0, 50, 95, 100):
+            assert merged.percentile(p) == combined.percentile(p)
 
 
 class TestTimeSeries:

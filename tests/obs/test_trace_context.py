@@ -1,0 +1,194 @@
+"""Trace-context propagation: deterministic span derivation, the
+root/env mirror that carries a sweep's identity into worker processes,
+thread-local activation, and the phase-span buffer."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs import trace_context as tc
+
+
+class TestDerivation:
+    def test_mint_root_seeded_is_deterministic(self):
+        a = tc.mint_root(seed="sweep-42")
+        b = tc.mint_root(seed="sweep-42")
+        assert a == b
+        assert a.trace_id != tc.mint_root(seed="sweep-43").trace_id
+
+    def test_mint_root_unseeded_is_unique(self):
+        assert tc.mint_root().trace_id != tc.mint_root().trace_id
+
+    def test_span_for_job_agrees_across_callers(self):
+        # The whole cross-process correlation story rests on this:
+        # broker, scheduler, and worker each derive the same span id
+        # from (trace_id, job_hash) without talking to each other.
+        root = tc.mint_root(seed="s")
+        assert tc.span_for_job(root.trace_id, "abc") == tc.span_for_job(
+            root.trace_id, "abc"
+        )
+        assert tc.span_for_job(root.trace_id, "abc") != tc.span_for_job(
+            root.trace_id, "abd"
+        )
+
+    def test_job_context_parents_to_root(self):
+        root = tc.mint_root(seed="s")
+        job = tc.job_context(root, "deadbeef")
+        assert job.trace_id == root.trace_id
+        assert job.parent_span_id == root.span_id
+        assert job.span_id == tc.span_for_job(root.trace_id, "deadbeef")
+
+    def test_to_dict_round_trip(self):
+        ctx = tc.job_context(tc.mint_root(seed="s"), "h")
+        assert tc.TraceContext.from_dict(ctx.to_dict()) == ctx
+
+
+class TestRootPropagation:
+    def test_set_root_mirrors_env(self):
+        root = tc.mint_root(seed="s")
+        tc.set_root(root)
+        raw = os.environ[tc.TRACE_ENV]
+        assert tc.TraceContext.from_dict(json.loads(raw)) == root
+
+    def test_env_inherited_root(self):
+        # Simulate a freshly spawned worker: no module global, but the
+        # parent's env var is present.
+        root = tc.mint_root(seed="s")
+        tc.set_root(root)
+        raw = os.environ[tc.TRACE_ENV]
+        tc.reset()
+        os.environ[tc.TRACE_ENV] = raw
+        assert tc.current() == root
+
+    def test_corrupt_env_is_ignored(self):
+        os.environ[tc.TRACE_ENV] = "{not json"
+        assert tc.current() is None
+
+    def test_ensure_current_mints_once(self):
+        first = tc.ensure_current()
+        assert tc.ensure_current() == first
+        assert tc.current() == first
+
+
+class TestActivation:
+    def test_activate_restore(self):
+        root = tc.mint_root(seed="s")
+        tc.set_root(root)
+        job = tc.job_context(root, "h")
+        prev = tc.activate(job)
+        assert tc.current() == job
+        tc.restore(prev)
+        assert tc.current() == root
+
+    def test_using_context_manager(self):
+        job = tc.job_context(tc.mint_root(seed="s"), "h")
+        with tc.using(job):
+            assert tc.current() == job
+        assert tc.current() is None
+
+    def test_activation_is_thread_local(self):
+        job = tc.job_context(tc.mint_root(seed="s"), "h")
+        seen = {}
+
+        def other():
+            seen["ctx"] = tc.current()
+
+        with tc.using(job):
+            thread = threading.Thread(target=other)
+            thread.start()
+            thread.join()
+        assert seen["ctx"] is None  # no root installed, no bleed-through
+
+    def test_activate_env_installs_root(self):
+        job = tc.job_context(tc.mint_root(seed="s"), "h")
+        tc.activate(job, env=True)
+        assert os.environ.get(tc.TRACE_ENV)
+        # A grandchild process would inherit the *job* context as root.
+        assert tc.TraceContext.from_dict(
+            json.loads(os.environ[tc.TRACE_ENV])
+        ) == job
+
+
+class TestPhases:
+    def test_phase_parents_to_active_context(self):
+        job = tc.job_context(tc.mint_root(seed="s"), "h")
+        with tc.using(job):
+            with tc.phase("l1filter.build", nodes=7):
+                pass
+        (record,) = tc.drain_phases()
+        assert record["name"] == "l1filter.build"
+        assert record["trace_id"] == job.trace_id
+        assert record["parent_span_id"] == job.span_id
+        assert record["span_id"] != job.span_id
+        assert record["dur_us"] >= 1
+        assert record["args"] == {"nodes": 7}
+
+    def test_phases_without_context_still_record(self):
+        with tc.phase("orphan"):
+            pass
+        (record,) = tc.drain_phases()
+        assert record["name"] == "orphan"
+
+    def test_phase_ids_unique_per_invocation(self):
+        job = tc.job_context(tc.mint_root(seed="s"), "h")
+        with tc.using(job):
+            with tc.phase("p"):
+                pass
+            with tc.phase("p"):
+                pass
+        first, second = tc.drain_phases()
+        assert first["span_id"] != second["span_id"]
+
+    def test_buffer_cap_counts_drops(self, monkeypatch):
+        monkeypatch.setattr(tc, "MAX_PHASES", 3)
+        for _ in range(5):
+            with tc.phase("p"):
+                pass
+        assert len(tc.drain_phases()) == 3
+        assert tc.phases_dropped() == 2
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "phases.jsonl"
+        with tc.using(tc.job_context(tc.mint_root(seed="s"), "h")):
+            with tc.phase("a"):
+                pass
+            with tc.phase("b"):
+                pass
+        assert tc.write_phases(path) == 2
+        assert tc.drain_phases() == []  # drained by the write
+        records = tc.load_phases(path)
+        assert [r["name"] for r in records] == ["a", "b"]
+
+    def test_write_appends_across_drains(self, tmp_path):
+        path = tmp_path / "phases.jsonl"
+        with tc.phase("a"):
+            pass
+        tc.write_phases(path)
+        with tc.phase("b"):
+            pass
+        tc.write_phases(path)
+        assert [r["name"] for r in tc.load_phases(path)] == ["a", "b"]
+
+    def test_load_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "phases.jsonl"
+        good = {"name": "ok", "span_id": "s", "start_us": 1, "dur_us": 1}
+        path.write_text(
+            json.dumps(good) + "\n" + '{"name": "torn', encoding="utf-8"
+        )
+        records = tc.load_phases(path)
+        assert [r["name"] for r in records] == ["ok"]
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert tc.load_phases(tmp_path / "nope.jsonl") == []
+
+
+def test_reset_forgets_everything():
+    tc.set_root(tc.mint_root(seed="s"))
+    with tc.phase("p"):
+        pass
+    tc.reset()
+    assert tc.current() is None
+    assert tc.drain_phases() == []
+    assert os.environ.get(tc.TRACE_ENV) is None

@@ -1,0 +1,151 @@
+"""The scrape and dashboard surfaces: Prometheus text rendering and
+the HTML page, both as pure functions of a status dict and over HTTP
+against a live service."""
+
+import urllib.request
+
+from repro.service.dashboard import (
+    _metric_name,
+    dashboard_html,
+    prometheus_text,
+)
+
+ECHO = "tests.service.jobs:echo"
+
+
+def _status(**overrides):
+    status = {
+        "service": {
+            "uptime_s": 12.5,
+            "draining": False,
+            "workers": 2,
+            "queue_capacity": 64,
+            "records": {"finished": 3, "running": 1, "total": 4},
+        },
+        "metrics": {
+            "service.submissions": {"type": "counter", "value": 5},
+            "service.cache_hits": {"type": "counter", "value": 1},
+            "service.dedup_hits": {"type": "counter", "value": 1},
+            "service.queue_depth": {"type": "gauge", "value": 2},
+            "service.latency_us": {
+                "type": "histogram",
+                "count": 3,
+                "total": 3000,
+                "p50": 900,
+                "p95": 1400,
+                "p99": 1500,
+            },
+        },
+        "runtime": {"finished": 3, "references": 1200, "wall_time": 2.5},
+        "health": {
+            "fault.worker.crash": 1,
+            "recovery.worker.crash_retried": 1,
+        },
+        "cache": {"current_entries": 7},
+        "trace_id": "cafe" * 8,
+    }
+    status.update(overrides)
+    return status
+
+
+class TestMetricNames:
+    def test_sanitises_and_prefixes(self):
+        assert _metric_name("service.cache_hits") == "repro_service_cache_hits"
+        assert _metric_name("health", "fault.worker.crash") == (
+            "repro_health_fault_worker_crash"
+        )
+
+    def test_collapses_repeats(self):
+        assert "__" not in _metric_name("a..b", "c")
+
+
+class TestPrometheusText:
+    def test_counters_become_total_with_type_lines(self):
+        text = prometheus_text(_status())
+        assert "# TYPE repro_service_submissions_total counter" in text
+        assert "repro_service_submissions_total 5" in text
+        assert "repro_runtime_references_total 1200" in text
+        assert "repro_health_fault_worker_crash_total 1" in text
+
+    def test_gauges_and_records_by_state(self):
+        text = prometheus_text(_status())
+        assert "# TYPE repro_service_queue_depth gauge" in text
+        assert 'repro_service_records{state="finished"} 3' in text
+        assert 'state="total"' not in text  # derived, not exported
+        assert "repro_cache_entries 7" in text
+        assert "# TYPE repro_runtime_wall_time gauge" in text
+
+    def test_histograms_become_summaries(self):
+        text = prometheus_text(_status())
+        assert "# TYPE repro_service_latency_us summary" in text
+        assert 'repro_service_latency_us{quantile="0.5"} 900' in text
+        assert 'repro_service_latency_us{quantile="0.99"} 1500' in text
+        assert "repro_service_latency_us_sum 3000" in text
+        assert "repro_service_latency_us_count 3" in text
+
+    def test_empty_status_still_renders(self):
+        assert prometheus_text({}).endswith("\n")
+
+    def test_non_numeric_values_render_as_zero(self):
+        status = _status()
+        status["metrics"]["service.submissions"]["value"] = "corrupt"
+        assert "repro_service_submissions_total 0" in prometheus_text(status)
+
+
+class TestDashboardHtml:
+    def test_shows_load_admission_and_latency(self):
+        page = dashboard_html(_status())
+        assert "accepting" in page
+        assert "2 / 64" in page  # queue depth / capacity
+        assert "40.0%" in page  # (1 cache + 1 dedup) / 5 submissions
+        assert "900 us" in page  # latency p50
+        assert "cafe" * 8 in page
+        assert 'href="/metrics"' in page
+
+    def test_backpressure_states(self):
+        draining = _status()
+        draining["service"]["draining"] = True
+        assert "draining" in dashboard_html(draining)
+        full = _status()
+        full["metrics"]["service.queue_depth"]["value"] = 64
+        assert "REJECTING (queue full)" in dashboard_html(full)
+
+    def test_fault_recoveries_summed_from_health(self):
+        page = dashboard_html(_status())
+        assert "fault recoveries" in page
+
+    def test_empty_status_renders_page(self):
+        page = dashboard_html({})
+        assert page.startswith("<!DOCTYPE html>")
+        assert "repro.service" in page
+
+
+# -- over HTTP ------------------------------------------------------------
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.headers, response.read()
+
+
+def test_metrics_and_dashboard_routes(live_service):
+    service = live_service()
+    client = service.client(tenant="ci")
+    client.submit(ECHO, params={"value": 1}, wait=True)
+    client.submit(ECHO, params={"value": 1}, wait=True)  # cache hit
+
+    status, headers, body = _get(service.url + "/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain")
+    text = body.decode("utf-8")
+    assert "repro_service_submissions_total 2" in text
+    assert "repro_service_cache_hits_total 1" in text
+    assert "# TYPE repro_service_latency_us summary" in text
+
+    status, headers, body = _get(service.url + "/dashboard")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/html")
+    page = body.decode("utf-8")
+    assert "repro.service" in page
+    # The sweep's trace id is live on the page for correlation.
+    assert client.status()["trace_id"] in page
