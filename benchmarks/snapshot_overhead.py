@@ -1,0 +1,123 @@
+"""Snapshot/restore/digest overhead micro-bench (CI artifact).
+
+Measures the fixed costs segment-parallel replay pays per boundary —
+capturing a :class:`~repro.multicore.state.ChipSnapshot` from a chip
+with non-trivial deep state, persisting/loading the ``.npz``, restoring
+onto a fresh chip, and content-hashing — plus the full capture pass of
+:func:`repro.kernels.segmented.ensure_segment_snapshots`::
+
+    python benchmarks/snapshot_overhead.py [--scale 0.2] [--segments 4]
+
+Writes JSON to stdout and ``-o`` (default
+``benchmarks/BENCH_snapshot_overhead.json`` — uploaded as a CI artifact
+rather than committed: unlike the replay speedups it is pure fixed cost
+and carries no gate).  The interesting ratio is ``capture_sec``
+against the per-segment replay time in ``BENCH_throughput.json``:
+snapshot overhead must stay a rounding error for segment-parallel
+replay to scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(REPO_SRC))
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def measure(scale: float, segments: int, repeats: int) -> "dict[str, object]":
+    from repro.experiments.workloads import workload
+    from repro.kernels.l1filter import build_l1_filter
+    from repro.kernels.segmented import ensure_segment_snapshots
+    from repro.kernels.specialize import replay_chip_slice
+    from repro.multicore.chip import ChipConfig, MultiCoreChip
+    from repro.multicore.state import (
+        ChipSnapshot,
+        chip_digest,
+        restore_chip,
+        snapshot_chip,
+    )
+    from repro.runtime.cache import ResultCache
+
+    spec = workload("mst", scale=scale)
+    record = build_l1_filter(*spec.arrays())
+    chip = MultiCoreChip(ChipConfig())
+    half = record.records // 2
+    replay_chip_slice(
+        chip, record, 0, half, n_accesses=int(record.indices[half])
+    )
+
+    snap = snapshot_chip(chip)
+    state_bytes = sum(a.nbytes for a in snap.arrays.values())
+    tmp = Path(tempfile.mkdtemp(prefix="snap-bench-"))
+    try:
+        path = tmp / "snap.npz"
+        save_sec = _best_of(repeats, lambda: snap.save(path))
+        load_sec = _best_of(repeats, lambda: ChipSnapshot.load(path))
+        npz_bytes = path.stat().st_size
+        target = MultiCoreChip(ChipConfig())
+        result = {
+            "workload": f"mst (Olden), scale={scale}",
+            "records": record.records,
+            "repeats": repeats,
+            "estimator": "best-of-N",
+            "state_bytes": state_bytes,
+            "npz_bytes": npz_bytes,
+            "snapshot_sec": _best_of(repeats, lambda: snapshot_chip(chip)),
+            "save_sec": save_sec,
+            "load_sec": load_sec,
+            "restore_sec": _best_of(repeats, lambda: restore_chip(target, snap)),
+            "digest_sec": _best_of(repeats, lambda: chip_digest(chip)),
+        }
+        cache_dir = tmp / "cache"
+        start = time.perf_counter()
+        ensure_segment_snapshots(
+            "mst", scale=scale, segments=segments,
+            cache=ResultCache(cache_dir),
+        )
+        result["segments"] = segments
+        result["capture_sec"] = round(time.perf_counter() - start, 4)
+        for key in ("snapshot_sec", "save_sec", "load_sec",
+                    "restore_sec", "digest_sec"):
+            result[key] = round(result[key], 5)
+        return result
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--segments", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(Path(__file__).parent / "BENCH_snapshot_overhead.json"),
+    )
+    args = parser.parse_args(argv)
+    result = measure(args.scale, args.segments, args.repeats)
+    text = json.dumps(result, indent=2, sort_keys=True)
+    Path(args.output).write_text(text + "\n", encoding="utf-8")
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

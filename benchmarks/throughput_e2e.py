@@ -1,7 +1,7 @@
 """End-to-end chip throughput: per-access seed path vs the batched paths.
 
 Times one Table 2 pointer-chasing workload (Olden ``mst``) through
-:class:`~repro.multicore.chip.MultiCoreChip` three ways and writes
+:class:`~repro.multicore.chip.MultiCoreChip` five ways and writes
 ``benchmarks/BENCH_throughput.json``::
 
     python benchmarks/throughput_e2e.py [--scale 0.5] [--repeats 3]
@@ -9,20 +9,34 @@ Times one Table 2 pointer-chasing workload (Olden ``mst``) through
 * ``per_access`` — the seed path: ``chip.run(spec.accesses())``;
 * ``batched`` — ``chip.run_arrays(*spec.arrays())``, the array-native
   fast path of :mod:`repro.kernels.batch`;
-* ``filtered`` — ``chip.run_filtered(record)``, replaying a
-  precomputed :class:`~repro.kernels.l1filter.L1FilterRecord` (the
-  record build is timed separately as ``l1_filter_build_sec``; in a
-  sweep it is paid once and shared by every variant).
+* ``filtered`` — the *inline* fast kernel (``_replay_chip_fast``)
+  over a precomputed :class:`~repro.kernels.l1filter.L1FilterRecord`
+  (the record build is timed separately as ``l1_filter_build_sec``; in
+  a sweep it is paid once and shared by every variant);
+* ``specialized`` — the shape-specialized generated kernel
+  (:mod:`repro.kernels.specialize`, what ``run_filtered`` now
+  dispatches to).  The reported number is the *warm* replay (per-record
+  precompute memoised, as in any sweep replaying a record more than
+  once — the same accounting as ``l1_filter_build_sec``); the cold
+  first replay is reported separately as ``specialized_cold_sec``;
+* ``segmented`` — segment-parallel replay
+  (:mod:`repro.kernels.segmented`): snapshot capture is timed
+  separately (``snapshot_capture_sec``, content-addressed and reused
+  across runs), the reported time covers restoring every snapshot,
+  replaying every segment, and digest-verifying the stitch, executed
+  in-process (``jobs=1`` — the lower bound a multi-core box divides by
+  the worker count).
 
 Each timed run happens in a fresh subprocess and the configurations are
 interleaved round-robin with best-of-N as the estimator, exactly like
 ``obs_overhead.py`` (machine weather dominates back-to-back blocks).
 Every worker also prints its final ``ChipStats``; the script fails if
-the three paths disagree — the speedup only counts because the batched
-paths are bit-identical to the seed path.
+any path disagrees — the speedups only count because every path is
+bit-identical to the seed path.
 
-Exits non-zero when the batched path is slower than ``--min-speedup``
-times the per-access path (default 1.0), which is the CI gate.
+Exits non-zero when ``batched`` falls below ``--min-speedup`` or
+``specialized`` falls below ``--min-specialized-speedup`` times the
+per-access path (the CI gates).
 """
 
 from __future__ import annotations
@@ -42,57 +56,122 @@ import json, sys, time
 sys.path.insert(0, sys.argv[1])
 mode = sys.argv[2]
 scale = float(sys.argv[3])
+segments = int(sys.argv[4])
 from repro.experiments.workloads import workload
 from repro.multicore.chip import ChipConfig, MultiCoreChip
 spec = workload({workload!r}, scale=scale)
 arrays = spec.arrays()
 build_sec = None
-if mode == "filtered":
+extra = {{}}
+if mode in ("filtered", "specialized"):
     from repro.kernels.l1filter import build_l1_filter
     start = time.perf_counter()
     record = build_l1_filter(*arrays)
     build_sec = time.perf_counter() - start
 chip = MultiCoreChip(ChipConfig())
-start = time.perf_counter()
 if mode == "per_access":
+    start = time.perf_counter()
     chip.run(spec.accesses())
+    elapsed = time.perf_counter() - start
 elif mode == "batched":
+    start = time.perf_counter()
     chip.run_arrays(*arrays)
+    elapsed = time.perf_counter() - start
+elif mode == "filtered":
+    from repro.kernels.batch import _replay_chip_fast
+    rec_line = record.lines.tolist()
+    rec_kind = record.kinds.tolist()
+    start = time.perf_counter()
+    _replay_chip_fast(
+        chip, rec_line, rec_kind, record.accesses, record.max_instruction
+    )
+    elapsed = time.perf_counter() - start
+elif mode == "specialized":
+    from repro.kernels.specialize import replay_chip_specialized
+    start = time.perf_counter()
+    replay_chip_specialized(chip, record)
+    extra["cold_sec"] = time.perf_counter() - start
+    elapsed = None
+    for _ in range(3):
+        chip = MultiCoreChip(ChipConfig())
+        start = time.perf_counter()
+        replay_chip_specialized(chip, record)
+        warm = time.perf_counter() - start
+        elapsed = warm if elapsed is None else min(elapsed, warm)
 else:
-    chip.run_filtered(record)
-elapsed = time.perf_counter() - start
+    from repro.kernels.l1filter import ensure_l1_filter
+    from repro.kernels.segmented import ensure_segment_snapshots, run_segmented
+    from repro.runtime.cache import ResultCache
+    from repro.runtime.scheduler import ExperimentRuntime, RuntimeConfig
+    cache = ResultCache()
+    start = time.perf_counter()
+    record2, cached = ensure_l1_filter({workload!r}, scale=scale, cache=cache)
+    build_sec = time.perf_counter() - start
+    start = time.perf_counter()
+    ensure_segment_snapshots(
+        {workload!r}, scale=scale, segments=segments, cache=cache
+    )
+    extra["capture_sec"] = time.perf_counter() - start
+    extra["segments"] = segments
+    runtime = ExperimentRuntime(
+        RuntimeConfig(jobs=1, use_cache=False), cache=cache
+    )
+    try:
+        start = time.perf_counter()
+        stitched = run_segmented(
+            {workload!r}, scale=scale, segments=segments,
+            runtime=runtime, cache=cache,
+        )
+        elapsed = time.perf_counter() - start
+    finally:
+        runtime.close()
+    chip = None
+    stats = stitched.stats.to_dict()
+if chip is not None:
+    stats = chip.stats.to_dict()
 print(json.dumps({{
     "refs_per_sec": len(arrays[0]) / elapsed,
     "seconds": elapsed,
     "build_sec": build_sec,
-    "stats": chip.stats.to_dict(),
+    "stats": stats,
+    **extra,
 }}))
 """.format(workload=WORKLOAD)
 
-MODES = ("per_access", "batched", "filtered")
+MODES = ("per_access", "batched", "filtered", "specialized", "segmented")
 
 
-def _run_once(mode: str, scale: float) -> "dict[str, object]":
+def _run_once(mode: str, scale: float, segments: int) -> "dict[str, object]":
     out = subprocess.run(
-        [sys.executable, "-c", _WORKER, str(REPO_SRC), mode, str(scale)],
+        [
+            sys.executable, "-c", _WORKER,
+            str(REPO_SRC), mode, str(scale), str(segments),
+        ],
         capture_output=True,
         text=True,
         check=True,
     )
-    return json.loads(out.stdout.strip())
+    return json.loads(out.stdout.strip().splitlines()[-1])
 
 
-def measure(scale: float, repeats: int) -> "tuple[dict[str, object], bool]":
+def measure(
+    scale: float, repeats: int, segments: int
+) -> "tuple[dict[str, object], bool]":
     runs: "dict[str, list[dict[str, object]]]" = {m: [] for m in MODES}
     for _ in range(repeats):  # interleaved: one round per repeat
         for mode in MODES:
-            runs[mode].append(_run_once(mode, scale))
+            runs[mode].append(_run_once(mode, scale, segments))
     best = {
         mode: max(results, key=lambda r: r["refs_per_sec"])
         for mode, results in runs.items()
     }
     stats = {mode: r["stats"] for mode, r in best.items()}
-    identical = stats["per_access"] == stats["batched"] == stats["filtered"]
+    identical = all(stats[mode] == stats["per_access"] for mode in MODES)
+    base = best["per_access"]["refs_per_sec"]
+
+    def speedup(mode: str) -> float:
+        return round(best[mode]["refs_per_sec"] / base, 2)
+
     result = {
         "workload": f"{WORKLOAD} (Olden), scale={scale}",
         "references": stats["per_access"]["accesses"],
@@ -103,16 +182,13 @@ def measure(scale: float, repeats: int) -> "tuple[dict[str, object], bool]":
         },
         "seconds": {mode: round(r["seconds"], 3) for mode, r in best.items()},
         "l1_filter_build_sec": round(best["filtered"]["build_sec"], 3),
-        "batched_speedup": round(
-            best["batched"]["refs_per_sec"]
-            / best["per_access"]["refs_per_sec"],
-            2,
-        ),
-        "filtered_speedup": round(
-            best["filtered"]["refs_per_sec"]
-            / best["per_access"]["refs_per_sec"],
-            2,
-        ),
+        "specialized_cold_sec": round(best["specialized"]["cold_sec"], 3),
+        "snapshot_capture_sec": round(best["segmented"]["capture_sec"], 3),
+        "segments": segments,
+        "batched_speedup": speedup("batched"),
+        "filtered_speedup": speedup("filtered"),
+        "specialized_speedup": speedup("specialized"),
+        "segmented_speedup": speedup("segmented"),
         "stats_identical": identical,
         "chip_stats": stats["per_access"],
     }
@@ -123,6 +199,7 @@ def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=0.5)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--segments", type=int, default=2)
     parser.add_argument(
         "--min-speedup",
         type=float,
@@ -130,12 +207,18 @@ def main(argv: "list[str] | None" = None) -> int:
         help="fail when batched_speedup falls below this (CI gate)",
     )
     parser.add_argument(
+        "--min-specialized-speedup",
+        type=float,
+        default=1.0,
+        help="fail when specialized_speedup falls below this (CI gate)",
+    )
+    parser.add_argument(
         "-o",
         "--output",
         default=str(Path(__file__).parent / "BENCH_throughput.json"),
     )
     args = parser.parse_args(argv)
-    result, identical = measure(args.scale, args.repeats)
+    result, identical = measure(args.scale, args.repeats, args.segments)
     Path(args.output).write_text(
         json.dumps(result, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
@@ -147,6 +230,13 @@ def main(argv: "list[str] | None" = None) -> int:
         print(
             f"FAIL: batched speedup {result['batched_speedup']} < "
             f"{args.min_speedup}",
+            file=sys.stderr,
+        )
+        return 1
+    if result["specialized_speedup"] < args.min_specialized_speedup:
+        print(
+            f"FAIL: specialized speedup {result['specialized_speedup']} < "
+            f"{args.min_specialized_speedup}",
             file=sys.stderr,
         )
         return 1

@@ -60,13 +60,24 @@ def _run_experiment(
     # invocation selecting both simulates each workload once even with
     # the cache disabled.
     if "rows" not in table2_memo:
-        table2_memo["rows"] = run_table2(
-            args.workloads,
-            scale=args.scale,
-            seed=args.seed,
-            runtime=runtime,
-            obs_dir=args.obs,
-        )
+        if args.segments:
+            from repro.experiments.table2 import run_table2_segmented
+
+            table2_memo["rows"] = run_table2_segmented(
+                args.workloads,
+                scale=args.scale,
+                seed=args.seed,
+                runtime=runtime,
+                segments=args.segments,
+            )
+        else:
+            table2_memo["rows"] = run_table2(
+                args.workloads,
+                scale=args.scale,
+                seed=args.seed,
+                runtime=runtime,
+                obs_dir=args.obs,
+            )
     if experiment == "table2":
         return render_table2(table2_memo["rows"])
     if experiment == "speedups":
@@ -120,6 +131,15 @@ def main(argv: "list[str] | None" = None) -> int:
         type=int,
         default=1,
         help="worker processes (1 = in-process serial, for debugging)",
+    )
+    parser.add_argument(
+        "--segments",
+        type=int,
+        default=None,
+        metavar="K",
+        help="replay the table2/speedups chip pass segment-parallel: "
+        "capture K exact snapshots per workload and fan one runtime "
+        "job per segment (digest-verified stitch; bit-identical rows)",
     )
     parser.add_argument(
         "--timeout",
@@ -181,6 +201,14 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.segments is not None and args.segments < 1:
+        parser.error(f"--segments must be >= 1, got {args.segments}")
+    if args.segments and args.obs:
+        parser.error(
+            "--segments replays the chip pass through the probe-free "
+            "specialized kernels; --obs needs instrumented runs and "
+            "cannot be combined with it"
+        )
     if args.server and (args.obs or args.profile or args.checkpoint):
         parser.error(
             "--server executes on the remote service; --obs/--profile/"

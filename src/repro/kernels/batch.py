@@ -72,15 +72,30 @@ def run_chip_arrays(chip, addresses, kinds, instructions):
         and _l1_view(chip.il1) is not None
         and _l1_view(chip.dl1) is not None
     ):
-        _, rec_line, rec_kind = l1_miss_stream(
+        rec_index, rec_line, rec_kind = l1_miss_stream(
             chip.il1, chip.dl1, addresses, kinds, line_size
         )
         max_instruction = (
             int(instructions.max()) if len(instructions) else -1
         )
-        _replay_chip_fast(
-            chip, rec_line, rec_kind, len(addresses), max_instruction
+        # Package the miss stream as a record and replay it through the
+        # shape-specialized kernel (repro.kernels.specialize) — exact,
+        # and the config branches are hoisted out of the per-miss loop.
+        from repro.kernels.specialize import replay_chip_specialized
+
+        caches = chip.config.caches
+        record = L1FilterRecord(
+            line_size=caches.line_size,
+            il1_bytes=caches.il1_bytes,
+            dl1_bytes=caches.dl1_bytes,
+            l1_ways=caches.l1_ways,
+            accesses=len(addresses),
+            max_instruction=max_instruction,
+            indices=np.asarray(rec_index, dtype=np.int64),
+            lines=np.asarray(rec_line, dtype=np.int64),
+            kinds=np.asarray(rec_kind, dtype=np.uint8),
         )
+        replay_chip_specialized(chip, record)
     else:
         _run_chip_generic(chip, addresses, kinds, instructions, line_size)
     return chip.stats
@@ -95,13 +110,14 @@ def run_chip_filtered(chip, record: L1FilterRecord):
     """
     record.require_match(chip.config.caches)
     if _chip_fast_eligible(chip):
-        _replay_chip_fast(
-            chip,
-            record.lines.tolist(),
-            record.kinds.tolist(),
-            record.accesses,
-            record.max_instruction,
-        )
+        # Shape-specialized replay (repro.kernels.specialize): same
+        # exactness contract as _replay_chip_fast, but the kernel is
+        # generated per chip shape with every config branch hoisted out
+        # of the loop.  The inline fast path remains as the reference
+        # twin the differential tests replay against.
+        from repro.kernels.specialize import replay_chip_specialized
+
+        replay_chip_specialized(chip, record)
     else:
         _replay_chip_generic(chip, record)
     return chip.stats

@@ -1,0 +1,506 @@
+"""Segment-parallel chip replay over snapshot boundaries.
+
+Filtered replay is a deterministic state machine: chip state at record
+``i`` is a pure function of (chip config, record prefix).  That makes
+the replay loop *temporally* decomposable even though every iteration
+depends on the last — capture exact snapshots
+(:mod:`repro.multicore.state`) every ``n/K`` records, then replay the
+``K`` segments as independent :class:`~repro.runtime.job.Job` units:
+segment ``k`` restores snapshot ``k``, replays records
+``[b_k, b_{k+1})`` through the shape-specialized kernel
+(:mod:`repro.kernels.specialize`), and reports its end digest.
+
+**Stitching is verification, not approximation.**  Because every
+segment starts from an exact snapshot, the stitched result is not
+"close to" serial replay — it is bit-identical, and the digest chain
+proves it: segment ``k``'s end digest must equal the captured digest at
+boundary ``k+1``, and the last segment's end digest must equal the
+serial final digest.  Chip stats restore with the snapshot, so the last
+segment's :class:`~repro.multicore.chip.ChipStats` are the absolute
+stats of the whole run.
+
+**Warm-up-and-discard** (:func:`replay_window`) serves windows that do
+not fall on snapshot boundaries: restore the nearest earlier snapshot
+and replay forward to the window start before replaying the window
+itself.  Replay is exact, so the warm-up is not an approximation
+either — it is literally the prefix computation, just started from the
+closest checkpoint instead of from zero.
+
+Snapshots are content-addressed under the runtime cache's generation
+directory (``<l1-job-hash>.segs/<config-digest>-<K>/``) next to the
+``.l1f.npz`` record sidecar they were captured from, so sweeps reuse
+captures across runs and code edits invalidate them with the cache
+generation.  Segment jobs rebuild missing captures themselves (the
+capture is cheap relative to a cold cache miss and idempotent), which
+keeps them retry-safe: a crashed worker re-runs from the on-disk
+snapshot without coordination.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.kernels.l1filter import ensure_l1_filter, l1_filter_job_for
+from repro.kernels.specialize import replay_chip_slice, specializable
+from repro.multicore.chip import ChipConfig, ChipStats, MultiCoreChip
+from repro.multicore.state import (
+    ChipSnapshot,
+    SnapshotError,
+    chip_digest,
+    config_digest,
+    snapshot_chip,
+)
+from repro.obs import trace_context
+from repro.runtime.cache import ResultCache
+from repro.runtime.job import Job, canonical_json
+from repro.runtime.scheduler import ExperimentRuntime, RuntimeConfig, payloads
+
+SEGMENTS_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+
+def plan_segments(num_records: int, segments: int) -> "list[int]":
+    """Record-index boundaries ``[b_0=0, ..., b_K=n]`` for ``K`` even
+    segments (later segments absorb the remainder)."""
+    if segments < 1:
+        raise ValueError(f"segments must be >= 1, got {segments}")
+    return [round(k * num_records / segments) for k in range(segments + 1)]
+
+
+def access_marks(record, bounds: "list[int]") -> "list[int]":
+    """Trace-access index at each record boundary.
+
+    ``marks[k+1] - marks[k]`` is the number of original trace accesses
+    segment ``k`` accounts for; the marks partition ``record.accesses``
+    exactly (the access of record ``b_k`` and everything after it up to
+    record ``b_{k+1}`` belongs to segment ``k``).
+    """
+    n = len(record.lines)
+    marks = []
+    for b in bounds:
+        if b >= n:
+            marks.append(record.accesses)
+        elif b == 0:
+            marks.append(0)
+        else:
+            marks.append(int(record.indices[b]))
+    return marks
+
+
+def segment_dir(
+    cache: ResultCache,
+    name: str,
+    scale: float,
+    seed: "int | None",
+    config: ChipConfig,
+    segments: int,
+) -> Path:
+    """Content-addressed home of one capture's snapshots + manifest."""
+    l1job = l1_filter_job_for(name, scale=scale, seed=seed)
+    return (
+        cache.generation_dir
+        / f"{l1job.hash}.segs"
+        / f"{config_digest(config)}-{segments}"
+    )
+
+
+def _snapshot_name(index: int) -> str:
+    return f"seg-{index:04d}.npz"
+
+
+def _manifest_current(manifest: dict, directory: Path, config: ChipConfig,
+                      segments: int, num_records: int) -> bool:
+    return (
+        manifest.get("version") == SEGMENTS_VERSION
+        and manifest.get("segments") == segments
+        and manifest.get("records") == num_records
+        and manifest.get("config") == config.to_dict()
+        and all(
+            (directory / snap).is_file()
+            for snap in manifest.get("snapshots", ())
+        )
+    )
+
+
+def ensure_segment_snapshots(
+    name: str,
+    scale: float = 1.0,
+    seed: "int | None" = None,
+    config: "ChipConfig | None" = None,
+    segments: int = 2,
+    cache: "ResultCache | None" = None,
+) -> "tuple[dict, Path]":
+    """Capture (or reuse) the snapshot chain for one replay.
+
+    Runs the serial specialized replay once, snapshotting chip state at
+    every segment boundary; returns ``(manifest, directory)``.  The
+    manifest records boundaries, access marks, the digest at every
+    boundary (``digests[K]`` is the serial final digest — the stitching
+    ground truth), and the serial final stats.
+    """
+    cache = cache or ResultCache()
+    config = config or ChipConfig()
+    record, _ = ensure_l1_filter(name, scale=scale, seed=seed, cache=cache)
+    directory = segment_dir(cache, name, scale, seed, config, segments)
+    manifest_path = directory / MANIFEST_NAME
+    n = len(record.lines)
+    if manifest_path.is_file():
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, ValueError):
+            manifest = {}
+        if _manifest_current(manifest, directory, config, segments, n):
+            return manifest, directory
+    bounds = plan_segments(n, segments)
+    marks = access_marks(record, bounds)
+    chip = MultiCoreChip(config)
+    if not specializable(chip):
+        raise SnapshotError(
+            "segment capture requires a specializable chip "
+            "(no probes/prefetchers, standard component types)"
+        )
+    directory.mkdir(parents=True, exist_ok=True)
+    digests: "list[str]" = []
+    snapshots: "list[str]" = []
+    with trace_context.phase(
+        "segmented.capture", workload=name, segments=segments
+    ):
+        for k in range(segments):
+            snap = snapshot_chip(chip)
+            digests.append(snap.digest())
+            snap.save(directory / _snapshot_name(k))
+            snapshots.append(_snapshot_name(k))
+            replay_chip_slice(
+                chip,
+                record,
+                bounds[k],
+                bounds[k + 1],
+                n_accesses=marks[k + 1] - marks[k],
+                max_instruction=(
+                    record.max_instruction if k == segments - 1 else None
+                ),
+            )
+        digests.append(chip_digest(chip))
+    manifest = {
+        "version": SEGMENTS_VERSION,
+        "workload": name,
+        "scale": scale,
+        "seed": seed,
+        "config": config.to_dict(),
+        "config_digest": config_digest(config),
+        "segments": segments,
+        "records": n,
+        "bounds": bounds,
+        "access_marks": marks,
+        "digests": digests,
+        "snapshots": snapshots,
+        "final_stats": chip.stats.to_dict(),
+    }
+    tmp = manifest_path.with_name(f"{MANIFEST_NAME}.tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    os.replace(tmp, manifest_path)
+    return manifest, directory
+
+
+def segment_job(
+    name: str,
+    scale: float,
+    seed: "int | None",
+    config_json: str,
+    segments: int,
+    index: int,
+) -> "dict[str, object]":
+    """Runtime job: replay one segment from its snapshot.
+
+    Self-sufficient: rebuilds the capture if the snapshots are missing
+    (content-addressed, so concurrent workers converge on identical
+    bytes).  Returns start/end digests for the stitch check plus the
+    chip stats after this segment — absolute stats, since they restore
+    with the snapshot.
+    """
+    if not 0 <= index < segments:
+        raise ValueError(f"segment index {index} outside [0, {segments})")
+    config = ChipConfig.from_dict(json.loads(config_json))
+    cache = ResultCache()
+    manifest, directory = ensure_segment_snapshots(
+        name, scale=scale, seed=seed, config=config,
+        segments=segments, cache=cache,
+    )
+    record, _ = ensure_l1_filter(name, scale=scale, seed=seed, cache=cache)
+    snap = ChipSnapshot.load(directory / manifest["snapshots"][index])
+    chip = MultiCoreChip(config)
+    from repro.multicore.state import restore_chip
+
+    restore_chip(chip, snap)
+    bounds = manifest["bounds"]
+    marks = manifest["access_marks"]
+    start, end = bounds[index], bounds[index + 1]
+    with trace_context.phase(
+        "segmented.segment", workload=name, index=index
+    ):
+        replay_chip_slice(
+            chip,
+            record,
+            start,
+            end,
+            n_accesses=marks[index + 1] - marks[index],
+            max_instruction=(
+                record.max_instruction if index == segments - 1 else None
+            ),
+        )
+    return {
+        "index": index,
+        "start": start,
+        "end": end,
+        "start_digest": manifest["digests"][index],
+        "end_digest": chip_digest(chip),
+        "stats": chip.stats.to_dict(),
+        "references": marks[index + 1] - marks[index],
+    }
+
+
+def segment_jobs(
+    name: str,
+    scale: float,
+    seed: "int | None",
+    config: ChipConfig,
+    segments: int,
+) -> "list[Job]":
+    config_json = canonical_json(config.to_dict())
+    return [
+        Job.create(
+            "repro.kernels.segmented:segment_job",
+            label=f"segment/{name}/{k}",
+            name=name,
+            scale=scale,
+            seed=seed,
+            config_json=config_json,
+            segments=segments,
+            index=k,
+        )
+        for k in range(segments)
+    ]
+
+
+@dataclass(frozen=True)
+class SegmentedReplay:
+    """Outcome of one stitched segment-parallel replay."""
+
+    stats: ChipStats  #: absolute stats after the last segment
+    final_digest: str  #: last segment's end digest
+    digest_chain_ok: bool  #: every segment ended on the next boundary digest
+    stats_identical: bool  #: stitched stats == serial capture stats
+    segments: int
+    records: int
+    crash_retries: int  #: worker crashes recovered during the fan-out
+
+
+def run_segmented(
+    name: str,
+    scale: float = 1.0,
+    seed: "int | None" = None,
+    config: "ChipConfig | None" = None,
+    segments: int = 2,
+    runtime: "ExperimentRuntime | None" = None,
+    cache: "ResultCache | None" = None,
+) -> SegmentedReplay:
+    """Capture, fan the segments out, and stitch with verification.
+
+    Raises :class:`SnapshotError` when the stitched digests break the
+    chain — that means non-determinism or a replay bug, never an
+    expected condition.
+    """
+    cache = cache or ResultCache()
+    config = config or ChipConfig()
+    manifest, _ = ensure_segment_snapshots(
+        name, scale=scale, seed=seed, config=config,
+        segments=segments, cache=cache,
+    )
+    owns_runtime = runtime is None
+    if owns_runtime:
+        runtime = ExperimentRuntime(RuntimeConfig(jobs=1), cache=cache)
+    try:
+        with trace_context.phase(
+            "segmented.replay", workload=name, segments=segments
+        ):
+            outcomes = runtime.map(
+                segment_jobs(name, scale, seed, config, segments)
+            )
+        results = payloads(outcomes)
+        crash_retries = runtime.stats.crash_retries
+    finally:
+        if owns_runtime:
+            runtime.close()
+    digests = manifest["digests"]
+    chain_ok = all(
+        results[k]["end_digest"] == digests[k + 1] for k in range(segments)
+    )
+    final = results[-1]
+    stats = ChipStats.from_dict(final["stats"])
+    stats_identical = final["stats"] == manifest["final_stats"]
+    if not chain_ok or not stats_identical:
+        broken = [
+            k for k in range(segments)
+            if results[k]["end_digest"] != digests[k + 1]
+        ]
+        raise SnapshotError(
+            f"segment stitch mismatch for {name}@{scale}: "
+            f"broken digest chain at segments {broken}, "
+            f"stats_identical={stats_identical}"
+        )
+    return SegmentedReplay(
+        stats=stats,
+        final_digest=final["end_digest"],
+        digest_chain_ok=chain_ok,
+        stats_identical=stats_identical,
+        segments=segments,
+        records=manifest["records"],
+        crash_retries=crash_retries,
+    )
+
+
+def replay_window(
+    name: str,
+    start: int,
+    end: int,
+    scale: float = 1.0,
+    seed: "int | None" = None,
+    config: "ChipConfig | None" = None,
+    segments: int = 2,
+    cache: "ResultCache | None" = None,
+) -> MultiCoreChip:
+    """Chip state after records ``[0, end)``, computed by warm-up-and-
+    discard from the nearest snapshot at or before ``start``.
+
+    The returned chip replayed ``[b, end)`` on top of snapshot ``b``
+    (``b`` = the greatest boundary <= ``start``); since replay is
+    exact, this equals replaying ``[0, end)`` from scratch.  ``start``
+    only chooses the checkpoint — the records in ``[b, start)`` are the
+    warm-up that gets "discarded" (they are part of the exact prefix
+    either way, just not the caller's window of interest).
+    """
+    cache = cache or ResultCache()
+    config = config or ChipConfig()
+    manifest, directory = ensure_segment_snapshots(
+        name, scale=scale, seed=seed, config=config,
+        segments=segments, cache=cache,
+    )
+    n = manifest["records"]
+    if not 0 <= start <= end <= n:
+        raise ValueError(f"bad window [{start}, {end}) of {n} records")
+    record, _ = ensure_l1_filter(name, scale=scale, seed=seed, cache=cache)
+    bounds = manifest["bounds"]
+    marks = manifest["access_marks"]
+    k = max(i for i in range(len(bounds) - 1) if bounds[i] <= start)
+    snap = ChipSnapshot.load(directory / manifest["snapshots"][k])
+    chip = MultiCoreChip(config)
+    from repro.multicore.state import restore_chip
+
+    restore_chip(chip, snap)
+    b = bounds[k]
+    if end > b:
+        final = end >= n
+        replay_chip_slice(
+            chip,
+            record,
+            b,
+            end,
+            n_accesses=(
+                (record.accesses if final else int(record.indices[end]))
+                - marks[k]
+            ),
+            max_instruction=record.max_instruction if final else None,
+        )
+    return chip
+
+
+# -- CLI: the differential smoke CI runs (optionally under faults) ------
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Segment-parallel replay differential: capture, replay "
+            "segments through the runtime, stitch, and prove the result "
+            "bit-identical to an independent serial replay."
+        )
+    )
+    parser.add_argument("--workload", default="mst")
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--segments", type=int, default=2)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument(
+        "--json", dest="json_out", default=None,
+        help="write the result JSON here as well as stdout",
+    )
+    args = parser.parse_args(argv)
+
+    cache = ResultCache()
+    config = ChipConfig()
+    record, _ = ensure_l1_filter(
+        args.workload, scale=args.scale, seed=args.seed, cache=cache
+    )
+
+    # Independent serial baseline through the *inline* fast kernel —
+    # a different code path than the specialized segments stitch over.
+    from repro.kernels.batch import _replay_chip_fast
+
+    serial = MultiCoreChip(config)
+    _replay_chip_fast(
+        serial,
+        record.lines.tolist(),
+        record.kinds.tolist(),
+        record.accesses,
+        record.max_instruction,
+    )
+    serial_digest = chip_digest(serial)
+
+    runtime = ExperimentRuntime(
+        RuntimeConfig(jobs=args.jobs, use_cache=False), cache=cache
+    )
+    try:
+        stitched = run_segmented(
+            args.workload,
+            scale=args.scale,
+            seed=args.seed,
+            config=config,
+            segments=args.segments,
+            runtime=runtime,
+            cache=cache,
+        )
+    finally:
+        runtime.close()
+
+    identical = (
+        stitched.final_digest == serial_digest
+        and stitched.stats.to_dict() == serial.stats.to_dict()
+    )
+    result = {
+        "workload": args.workload,
+        "scale": args.scale,
+        "segments": stitched.segments,
+        "records": stitched.records,
+        "jobs": args.jobs,
+        "digest_chain_ok": stitched.digest_chain_ok,
+        "stats_identical": identical and stitched.stats_identical,
+        "serial_digest": serial_digest,
+        "stitched_digest": stitched.final_digest,
+        "crash_retries": stitched.crash_retries,
+        "migrations": stitched.stats.migrations,
+        "l2_misses": stitched.stats.l2_misses,
+    }
+    text = json.dumps(result, indent=2, sort_keys=True)
+    print(text)
+    if args.json_out:
+        Path(args.json_out).write_text(text + "\n")
+    return 0 if result["stats_identical"] and result["digest_chain_ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,794 @@
+"""Trace-specialized chip replay kernels (generated per chip shape).
+
+The batched fast path in :mod:`repro.kernels.batch` is one inline loop
+covering *every* eligible chip: each per-miss iteration still pays for
+configuration branches (L2 filtering on/off, 2-way vs 4-way routing,
+store kind, exact-window tracking) and closure indirection.  This
+module generates the inner loop **per chip shape** instead: every
+configuration branch is hoisted out of the loop at code-generation
+time, the mechanism/filter/store state lives in flat locals, L2
+residency is tracked in per-core ``line -> slot`` dicts (an O(1) hit
+check replacing the per-way tag scan), and per-record clocks are
+derived from the loop index instead of incremented (the LRU timestamp
+of record ``i`` in a reign is ``cbase + i``).
+
+The **shape signature** — the dispatch key — is::
+
+    (l2_ways, migration_enabled, four_way, store_kind, slots_shared,
+     l2_filtering, track_window_affinity)
+
+Generated kernels are cached in a module dispatch table
+(:func:`dispatch_table`); per-record precomputation (slot-matrix
+columns, store/control byte streams) is memoised on the record object,
+so sweeps replaying one record through many variants pay it once.
+
+Exactness contract: replaying through a specialized kernel leaves the
+chip in **bit-identical** state to the per-access seed simulator —
+``ChipStats``, per-cache ``CacheStats`` and contents, controller,
+affinity store, filters, and update-bus bytes (the differential suite
+in ``tests/kernels`` enforces this).  The kernel also exposes a slice
+API (:func:`replay_chip_slice`): replaying ``[0, n)`` in any partition
+of consecutive slices is state-identical to one full replay, which is
+the property segment-parallel replay (:mod:`repro.kernels.segmented`)
+is built on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.caches.base import EvictedLine
+from repro.caches.skewed import skew_hash
+from repro.core.affinity_store import AffinityCache
+from repro.core.mechanism import RWindowEntry
+from repro.kernels.arrays import skew_slot_matrix
+from repro.kernels.batch import _UNSET, _chip_fast_eligible
+
+_PRECOMP_ATTR = "_specialized_precomp"
+
+#: signature -> (compiled kernel, generated source)
+_KERNELS: dict = {}
+
+
+def specializable(chip) -> bool:
+    """Whether a specialized kernel is exact for this chip (same
+    eligibility as the inline fast path)."""
+    return _chip_fast_eligible(chip)
+
+
+def chip_signature(chip) -> tuple:
+    """The shape signature keying the kernel dispatch table."""
+    first = chip.l2s.caches[0]
+    if not chip.config.migration_enabled:
+        return (first.ways, False, False, "none", False, False, False)
+    controller = chip.controller
+    cfg = controller.config
+    store = controller.store
+    if type(store) is AffinityCache:
+        store_kind = "cache"
+        slots_shared = (
+            store._num_sets == first.num_sets and store.ways == first.ways
+        )
+    else:
+        store_kind = "unbounded"
+        slots_shared = False
+    return (
+        first.ways,
+        True,
+        cfg.num_subsets == 4,
+        store_kind,
+        slots_shared,
+        cfg.l2_filtering,
+        controller.mechanism_x.track_true_window_affinity,
+    )
+
+
+def dispatch_table() -> "dict[tuple, str]":
+    """Generated kernels so far this process: signature -> source."""
+    return {sig: source for sig, (_, source) in _KERNELS.items()}
+
+
+# -- code generation ----------------------------------------------------
+
+
+def _indent(block: str, by: int) -> str:
+    pad = " " * by
+    return "\n".join(pad + line if line else line for line in block.split("\n"))
+
+
+def _victim_scan(ways: int) -> str:
+    """Unrolled skewed-cache victim selection over the slot row."""
+    names = [f"sa{w}" for w in range(ways)]
+    lines = [f"{names[w]} = s{w}[i]" for w in range(ways)]
+    if ways == 1:
+        lines.append(f"victim = {names[0]}")
+        return "\n".join(lines)
+    for w, name in enumerate(names):
+        kw = "if" if w == 0 else "elif"
+        lines.append(f"{kw} a_lines[{name}] is None:")
+        lines.append(f"    victim = {name}")
+    lines.append("else:")
+    lines.append(f"    victim = {names[0]}")
+    lines.append(f"    vt = a_time[{names[0]}]")
+    for w, name in enumerate(names[1:], start=1):
+        last = w == ways - 1
+        lines.append(f"    t = a_time[{name}]")
+        lines.append("    if t < vt:")
+        if last:
+            lines.append(f"        victim = {name}")
+        else:
+            lines.append(f"        victim = {name}; vt = t")
+    return "\n".join(lines)
+
+
+def _store_read(prefix: str, store_kind: str) -> str:
+    default = (
+        f"o_e = ({prefix}_lo if delta < {prefix}_lo else "
+        f"{prefix}_hi if delta > {prefix}_hi else delta)"
+    )
+    if store_kind == "unbounded":
+        return f"""st_reads += 1
+o_e = ub_get(line)
+if o_e is None:
+    st_misses += 1
+    {default}"""
+    return f"""st_reads += 1
+st_clock += 1
+sslot = st_idx_get(line)
+if sslot is not None:
+    st_time[sslot] = st_clock
+    o_e = st_values[sslot]
+else:
+    st_misses += 1
+    {default}"""
+
+
+def _store_write(store_kind: str, slots_shared: bool) -> str:
+    if store_kind == "unbounded":
+        return """st_writes += 1
+ub_values[evicted[0]] = o_f"""
+    if slots_shared:
+        row_source = """erow = evicted[2]
+    if erow is None:
+        erow = [wy * st_num_sets + skew_hash(eline, wy, st_index_bits)
+                for wy in st_way_range]"""
+    else:
+        row_source = """erow = [wy * st_num_sets + skew_hash(eline, wy, st_index_bits)
+            for wy in st_way_range]"""
+    return f"""st_writes += 1
+st_clock += 1
+eline = evicted[0]
+wslot = st_idx_get(eline)
+if wslot is not None:
+    st_values[wslot] = o_f
+    st_time[wslot] = st_clock
+else:
+    {row_source}
+    svictim = -1
+    svictim_time = None
+    for s in erow:
+        if st_lines[s] is None:
+            svictim = s
+            svictim_time = None
+            break
+        s_t = st_time[s]
+        if svictim_time is None or s_t < svictim_time:
+            svictim = s
+            svictim_time = s_t
+    vl = st_lines[svictim]
+    if vl is not None:
+        st_evictions += 1
+        del st_idx[vl]
+    st_lines[svictim] = eline
+    st_values[svictim] = o_f
+    st_time[svictim] = st_clock
+    st_idx[eline] = svictim"""
+
+
+_MIGRATION_FLUSH = """if subset != active:
+    transitions += 1
+    migrations += 1
+    clock_fl[active] = cbase + i
+    acc_fl[active] += i + 1 - reign_start
+    miss_fl[active] += a_miss
+    evict_fl[active] += a_evict
+    wb_fl[active] += a_wb
+    last_fl[active] = a_lastev if a_lastmiss == i else None
+    active = subset
+    a_lines = lines_by_core[active]
+    a_dirty = dirty_by_core[active]
+    a_time = time_by_core[active]
+    a_idx = idx_by_core[active]
+    a_idx_get = a_idx.get
+    a_miss = a_evict = a_wb = 0
+    a_lastev = last_fl[active]
+    a_lastmiss = -2
+    reign_start = i + 1
+    cbase = clock_fl[active] - reign_start + 1
+    occ = tuple(cc for cc in range(num_cores)
+                if cc != active and idx_by_core[cc])"""
+
+
+def _filter_update(fp: str, subset_source: str, l2_filtering: bool) -> str:
+    body = f"""{fp}_upd += 1
+value = {fp}_v + a_e
+{fp}_v = {fp}_lo if value < {fp}_lo else {fp}_hi if value > {fp}_hi else value
+{subset_source}
+updates += 1
+{_MIGRATION_FLUSH}"""
+    if l2_filtering:
+        return "if l2_miss:\n" + _indent(body, 4)
+    return body
+
+
+def _mechanism_block(
+    prefix: str,
+    sig_track: bool,
+    store_kind: str,
+    slots_shared: bool,
+    filter_source: str,
+) -> str:
+    p = prefix
+    entry = f"(line, i_e, row)" if slots_shared else "make_entry(line, i_e)"
+    if sig_track:
+        step_source = f"""if {p}_w >= 0:
+    step = 1
+    value = {p}_d + 1
+else:
+    step = -1
+    value = {p}_d - 1
+{p}_d = {p}_dlo if value < {p}_dlo else {p}_dhi if value > {p}_dhi else value
+value = {p}_w + {p}_len * step
+{p}_w = {p}_wlo if value < {p}_wlo else {p}_whi if value > {p}_whi else value"""
+    else:
+        step_source = f"""if {p}_w >= 0:
+    value = {p}_d + 1
+else:
+    value = {p}_d - 1
+{p}_d = {p}_dlo if value < {p}_dlo else {p}_dhi if value > {p}_dhi else value"""
+    return f"""delta = {p}_d
+{_store_read(p, store_kind)}
+value = o_e - delta
+a_e = {p}_lo if value < {p}_lo else {p}_hi if value > {p}_hi else value
+value = o_e - 2 * delta
+i_e = {p}_lo if value < {p}_lo else {p}_hi if value > {p}_hi else value
+{p}_append({entry})
+if {p}_len >= {p}_ws:
+    evicted = {p}_popleft()
+    value = evicted[1] + 2 * delta
+    o_f = {p}_lo if value < {p}_lo else {p}_hi if value > {p}_hi else value
+{_indent(_store_write(store_kind, slots_shared), 4)}
+    value = {p}_w + (o_e - o_f)
+else:
+    {p}_len += 1
+    value = {p}_w + a_e
+{p}_w = {p}_wlo if value < {p}_wlo else {p}_whi if value > {p}_whi else value
+{step_source}
+{filter_source}"""
+
+
+_SUBSET_X_4WAY = """if fx_v >= 0:
+    if fx_ls != 1:
+        fx_sc += 1
+        fx_ls = 1
+    subset = 0 if fp_v >= 0 else 1
+else:
+    if fx_ls != -1:
+        fx_sc += 1
+        fx_ls = -1
+    subset = 2 if fn_v >= 0 else 3"""
+
+_SUBSET_X_2WAY = """if fx_v >= 0:
+    if fx_ls != 1:
+        fx_sc += 1
+        fx_ls = 1
+    subset = 0
+else:
+    if fx_ls != -1:
+        fx_sc += 1
+        fx_ls = -1
+    subset = 1"""
+
+
+def _subset_y(fp: str) -> str:
+    return f"""if {fp}_v >= 0:
+    if {fp}_ls != 1:
+        {fp}_sc += 1
+        {fp}_ls = 1
+else:
+    if {fp}_ls != -1:
+        {fp}_sc += 1
+        {fp}_ls = -1
+if fx_v >= 0:
+    subset = 0 if fp_v >= 0 else 1
+else:
+    subset = 2 if fn_v >= 0 else 3"""
+
+
+def _mech_locals(prefix: str, index: int, slots_shared: bool) -> str:
+    p = prefix
+    source = f"""_m{index} = mechs[{index}]
+{p}_ws = _m{index}.window_size
+{p}_lo = -(1 << (_m{index}.affinity_bits - 1))
+{p}_hi = (1 << (_m{index}.affinity_bits - 1)) - 1
+{p}_dlo = _m{index}.delta._lo
+{p}_dhi = _m{index}.delta._hi
+{p}_d = _m{index}.delta._value
+{p}_wlo = _m{index}.window_affinity._lo
+{p}_whi = _m{index}.window_affinity._hi
+{p}_w = _m{index}.window_affinity._value
+{p}_fifo = _m{index}._fifo
+{p}_append = {p}_fifo.append
+{p}_popleft = {p}_fifo.popleft
+{p}_len = len({p}_fifo)"""
+    if slots_shared:
+        source += f"""
+if {p}_len:
+    entries = [(e[0], e[1], None) for e in {p}_fifo]
+    {p}_fifo.clear()
+    {p}_fifo.extend(entries)"""
+    return source
+
+
+def _mech_flush(prefix: str, index: int, refs: str, slots_shared: bool) -> str:
+    p = prefix
+    source = f"""mechs[{index}].delta._value = {p}_d
+mechs[{index}].window_affinity._value = {p}_w
+mechs[{index}].references += {refs}"""
+    if slots_shared:
+        source += f"""
+if {p}_fifo:
+    entries = [make_entry(e[0], e[1]) for e in {p}_fifo]
+    {p}_fifo.clear()
+    {p}_fifo.extend(entries)"""
+    return source
+
+
+def _filter_locals(fp: str, expr: str) -> str:
+    return f"""_f_{fp} = {expr}
+{fp}_lo = _f_{fp}._counter._lo
+{fp}_hi = _f_{fp}._counter._hi
+{fp}_v = _f_{fp}._counter._value
+{fp}_upd = 0
+{fp}_sc = 0
+{fp}_ls = _f_{fp}._last_sign"""
+
+
+def _filter_flush(fp: str) -> str:
+    return f"""_f_{fp}._counter._value = {fp}_v
+_f_{fp}.updates += {fp}_upd
+_f_{fp}.sign_changes += {fp}_sc
+_f_{fp}._last_sign = {fp}_ls"""
+
+
+def _build_source(sig: tuple) -> str:
+    (ways, migration, four_way, store_kind, slots_shared,
+     l2_filtering, track) = sig
+
+    cols_unpack = ", ".join(f"s{w}" for w in range(ways))
+    if ways == 1:
+        cols_unpack += ","
+
+    # --- per-record L2 section of the loop body -----------------------
+    demote = """if occ:
+    for core in occ:
+        oslot = idx_by_core[core].get(line)
+        if oslot is not None:
+            dirty_by_core[core][oslot] = False
+            coh_updates += 1"""
+    if migration:
+        hit_tail = "if not c:\n    continue\nl2_miss = False"
+        miss_tail = "if not c:\n    continue\nl2_miss = True"
+        if slots_shared:
+            row_hit = "(" + ", ".join(f"s{w}[i]" for w in range(ways)) + (
+                ",)" if ways == 1 else ")"
+            )
+            row_miss = "(" + ", ".join(f"sa{w}" for w in range(ways)) + (
+                ",)" if ways == 1 else ")"
+            )
+            hit_tail += f"\nrow = {row_hit}"
+            miss_tail += f"\nrow = {row_miss}"
+    else:
+        hit_tail = "continue"
+        miss_tail = "continue"
+
+    loop_vars = "line, w, c" if migration else "line, w"
+    zip_args = "seq_line, seq_w, seq_c" if migration else "seq_line, seq_w"
+
+    l2_body = f"""slot = a_idx_get(line)
+if slot is not None:
+    a_time[slot] = cbase + i
+    if w:
+        a_dirty[slot] = True
+{_indent(demote, 8)}
+{_indent(hit_tail, 4)}
+else:
+    a_miss += 1
+{_indent(_victim_scan(ways), 4)}
+    victim_line = a_lines[victim]
+    if victim_line is not None:
+        a_evict += 1
+        vd = a_dirty[victim]
+        if vd:
+            a_wb += 1
+            coh_writebacks += 1
+        a_lastev = (victim_line, vd)
+        del a_idx[victim_line]
+    else:
+        a_lastev = None
+    a_lastmiss = i
+    a_lines[victim] = line
+    a_dirty[victim] = True if w else False
+    a_time[victim] = cbase + i
+    a_idx[line] = victim
+    if occ:
+        forwarded = False
+        for core in occ:
+            oslot = idx_by_core[core].get(line)
+            if oslot is not None:
+                if dirty_by_core[core][oslot]:
+                    dirty_by_core[core][oslot] = False
+                    forwarded = True
+                    break
+        if forwarded:
+            coh_forwards += 1
+        else:
+            coh_l3 += 1
+        if w:
+            for core in occ:
+                oslot = idx_by_core[core].get(line)
+                if oslot is not None:
+                    dirty_by_core[core][oslot] = False
+                    coh_updates += 1
+    else:
+        coh_l3 += 1
+{_indent(miss_tail, 4)}"""
+
+    # --- sampled controller step --------------------------------------
+    if not migration:
+        ctrl_body = ""
+    elif four_way:
+        block_x = _mechanism_block(
+            "x", track, store_kind, slots_shared,
+            _filter_update("fx", _SUBSET_X_4WAY, l2_filtering),
+        )
+        block_p = _mechanism_block(
+            "p", track, store_kind, slots_shared,
+            _filter_update("fp", _subset_y("fp"), l2_filtering),
+        )
+        block_m = _mechanism_block(
+            "m", track, store_kind, slots_shared,
+            _filter_update("fn", _subset_y("fn"), l2_filtering),
+        )
+        ctrl_body = f"""if c == 1:
+{_indent(block_x, 4)}
+elif fx_v >= 0:
+    p_refs += 1
+{_indent(block_p, 4)}
+else:
+    m_refs += 1
+{_indent(block_m, 4)}"""
+    else:
+        ctrl_body = _mechanism_block(
+            "x", track, store_kind, slots_shared,
+            _filter_update("fx", _SUBSET_X_2WAY, l2_filtering),
+        )
+
+    # --- controller locals + flush ------------------------------------
+    if migration:
+        prefixes = [("x", 0), ("p", 1), ("m", 2)] if four_way else [("x", 0)]
+        filters = (
+            [("fx", "controller.filter_x"),
+             ("fp", "controller.filter_y[+1]"),
+             ("fn", "controller.filter_y[-1]")]
+            if four_way
+            else [("fx", "controller.filter_x")]
+        )
+        if store_kind == "cache":
+            store_locals = """st_lines = store._lines
+st_values = store._values
+st_time = store._time
+st_num_sets = store._num_sets
+st_index_bits = store._index_bits
+st_way_range = range(store.ways)
+st_clock = store._clock
+st_idx = {}
+for slot, ln in enumerate(st_lines):
+    if ln is not None:
+        st_idx[ln] = slot
+st_idx_get = st_idx.get
+st_reads = st_writes = st_misses = st_evictions = 0"""
+            store_flush = """store.reads += st_reads
+store.writes += st_writes
+store.misses += st_misses
+store.evictions += st_evictions
+store._clock = st_clock"""
+        else:
+            store_locals = """ub_values = store._values
+ub_get = ub_values.get
+st_reads = st_writes = st_misses = 0"""
+            store_flush = """store.reads += st_reads
+store.writes += st_writes
+store.misses += st_misses"""
+        ctrl_locals = "\n".join(
+            ["controller = chip.controller",
+             "store = controller.store",
+             "mechs = controller.mechanisms()",
+             store_locals]
+            + [_mech_locals(p, idx, slots_shared) for p, idx in prefixes]
+            + [_filter_locals(fp, expr) for fp, expr in filters]
+            + (["p_refs = m_refs = 0"] if four_way else [])
+            + ["updates = transitions = 0"]
+        )
+        mech_refs = (
+            [("x", 0, "x_refs"), ("p", 1, "p_refs"), ("m", 2, "m_refs")]
+            if four_way
+            else [("x", 0, "x_refs")]
+        )
+        ctrl_flush = "\n".join(
+            ["ctrl_references, sampled_count, x_refs = ctrl_counts",
+             "cstats = controller.stats",
+             "cstats.references += ctrl_references",
+             "cstats.sampled_references += sampled_count",
+             "cstats.filter_updates += updates",
+             "cstats.transitions += transitions",
+             "controller._previous_subset = active"]
+            + [_mech_flush(p, idx, refs, slots_shared)
+               for p, idx, refs in mech_refs]
+            + [_filter_flush(fp) for fp, _ in filters]
+            + [store_flush]
+        )
+    else:
+        ctrl_locals = ""
+        ctrl_flush = ""
+
+    loop = f"""i = start - 1
+for {loop_vars} in zip({zip_args}):
+    i += 1
+{_indent(l2_body, 4)}
+{_indent(ctrl_body, 4)}"""
+
+    source = f"""def _replay(chip, seq_line, seq_w, seq_c, cols, start, end,
+            n_accesses, max_instruction, kind_counts, ctrl_counts):
+    caches = chip.l2s.caches
+    num_cores = len(caches)
+    engine = chip.engine
+    lines_by_core = [c._lines for c in caches]
+    dirty_by_core = [c._dirty for c in caches]
+    time_by_core = [c._time for c in caches]
+    idx_by_core = []
+    for cl in lines_by_core:
+        d = {{}}
+        for slot, ln in enumerate(cl):
+            if ln is not None:
+                d[ln] = slot
+        idx_by_core.append(d)
+    active = engine.active_core
+    migrations = 0
+    {cols_unpack} = cols
+{_indent(ctrl_locals, 4)}
+    acc_fl = [0] * num_cores
+    miss_fl = [0] * num_cores
+    evict_fl = [0] * num_cores
+    wb_fl = [0] * num_cores
+    clock_fl = [c._clock for c in caches]
+    last_fl = [_UNSET] * num_cores
+    coh_forwards = coh_l3 = coh_updates = coh_writebacks = 0
+    a_lines = lines_by_core[active]
+    a_dirty = dirty_by_core[active]
+    a_time = time_by_core[active]
+    a_idx = idx_by_core[active]
+    a_idx_get = a_idx.get
+    a_miss = a_evict = a_wb = 0
+    a_lastev = None
+    a_lastmiss = -2
+    reign_start = start
+    cbase = clock_fl[active] - reign_start + 1
+    occ = tuple(c for c in range(num_cores) if c != active and idx_by_core[c])
+{_indent(loop, 4)}
+    if end > start:
+        clock_fl[active] = cbase + end - 1
+        acc_fl[active] += end - reign_start
+        miss_fl[active] += a_miss
+        evict_fl[active] += a_evict
+        wb_fl[active] += a_wb
+        if end > reign_start:
+            last_fl[active] = a_lastev if a_lastmiss == end - 1 else None
+    g_miss = sum(miss_fl)
+    for core in range(num_cores):
+        cache = caches[core]
+        l2_stats = cache.stats
+        l2_stats.accesses += acc_fl[core]
+        l2_stats.hits += acc_fl[core] - miss_fl[core]
+        l2_stats.misses += miss_fl[core]
+        l2_stats.evictions += evict_fl[core]
+        l2_stats.writebacks += wb_fl[core]
+        cache._clock = clock_fl[core]
+        lf = last_fl[core]
+        if lf is not _UNSET:
+            cache.last_eviction = EvictedLine(*lf) if lf is not None else None
+    records_span = end - start
+    coherence = chip.l2s.stats
+    coherence.accesses += records_span
+    coherence.hits += records_span - g_miss
+    coherence.misses += g_miss
+    coherence.forwards += coh_forwards
+    coherence.l3_fetches += coh_l3
+    coherence.writebacks += coh_writebacks
+    coherence.inactive_updates += coh_updates
+    engine.active_core = active
+    engine.migrations += migrations
+{_indent(ctrl_flush, 4)}
+    fetch_misses, load_misses, store_hits, store_misses = kind_counts
+    stats = chip.stats
+    stats.accesses += n_accesses
+    if max_instruction is not None and max_instruction >= stats.instructions:
+        stats.instructions = max_instruction + 1
+    stats.il1_misses += fetch_misses
+    stats.dl1_misses += load_misses + store_misses
+    stats.l1_miss_requests += fetch_misses + load_misses + store_misses
+    stats.l2_accesses += records_span
+    stats.l2_misses += g_miss
+    stats.migrations += migrations
+    bus = chip.bus_traffic
+    bus.record_l1_fill(chip.config.caches.line_size,
+                       fetch_misses + load_misses)
+    bus.record_store(store_hits + store_misses)
+"""
+    return source
+
+
+def _kernel_for(sig: tuple):
+    entry = _KERNELS.get(sig)
+    if entry is None:
+        source = _build_source(sig)
+        namespace = {
+            "EvictedLine": EvictedLine,
+            "skew_hash": skew_hash,
+            "make_entry": RWindowEntry,
+            "_UNSET": _UNSET,
+        }
+        exec(compile(source, f"<specialized {sig}>", "exec"), namespace)
+        entry = (namespace["_replay"], source)
+        _KERNELS[sig] = entry
+    return entry[0]
+
+
+# -- per-record precomputation (memoised on the record) -----------------
+
+
+def _precompute(record, chip, sig):
+    ways, migration, four_way = sig[0], sig[1], sig[2]
+    first = chip.l2s.caches[0]
+    num_sets = first.num_sets
+    if migration:
+        sampling = chip.controller.config.sampling
+        sampling_key = (sampling.modulus, sampling.sampled_residues)
+    else:
+        sampling_key = None
+    key = (num_sets, ways, migration, four_way, sampling_key)
+    memo = record.__dict__.setdefault(_PRECOMP_ATTR, {})
+    hit = memo.get(key)
+    if hit is not None:
+        return hit
+    lines_np = record.lines
+    kinds_np = record.kinds
+    n = len(lines_np)
+    smat = skew_slot_matrix(lines_np, num_sets, ways)
+    cols = tuple(smat[:, w].tolist() for w in range(ways))
+    w_b = (kinds_np >= 2).astype(np.uint8).tobytes()
+    if migration:
+        modulus, residues = sampling_key
+        req = kinds_np != 2
+        if residues is None:
+            samp = req
+            res = None
+        else:
+            res = lines_np % modulus
+            samp = np.isin(res, np.fromiter(residues, dtype=np.int64)) & req
+        ctrl = np.zeros(n, np.uint8)
+        if four_way:
+            if res is None:
+                res = lines_np % modulus
+            odd = (res & 1) == 1
+            ctrl[samp & odd] = 1
+            ctrl[samp & ~odd] = 2
+        else:
+            ctrl[samp] = 1
+        c_b = ctrl.tobytes()
+    else:
+        c_b = None
+    full_counts = _kind_counts(kinds_np, 0, n)
+    out = (record.lines.tolist(), cols, w_b, c_b, full_counts)
+    memo[key] = out
+    return out
+
+
+def _kind_counts(kinds_np, start, end):
+    ks = kinds_np[start:end]
+    return (
+        int(np.count_nonzero(ks == 0)),
+        int(np.count_nonzero(ks == 1)),
+        int(np.count_nonzero(ks == 2)),
+        int(np.count_nonzero(ks == 3)),
+    )
+
+
+# -- public replay API --------------------------------------------------
+
+
+def replay_chip_slice(
+    chip,
+    record,
+    start: int,
+    end: int,
+    *,
+    n_accesses: "int | None" = None,
+    max_instruction: "int | None" = None,
+):
+    """Replay records ``[start, end)`` of ``record`` through ``chip``.
+
+    ``n_accesses`` is the number of *original trace accesses* this
+    slice accounts for (``record.indices`` spans); it defaults to the
+    whole record's access count, which is only correct for a full
+    ``[0, n)`` replay.  ``max_instruction`` applies the record's
+    instruction high-water mark — pass it on the final slice only
+    (instruction counts are monotonic, so the final value is exact).
+
+    Replaying ``[0, n)`` as any sequence of consecutive slices leaves
+    the chip bit-identical to a single full replay.
+    """
+    record.require_match(chip.config.caches)
+    if not _chip_fast_eligible(chip):
+        raise ValueError(
+            "chip is not specializable (probe, prefetcher, or "
+            "non-standard component); use run_filtered instead"
+        )
+    n = len(record.lines)
+    if not 0 <= start <= end <= n:
+        raise ValueError(f"bad slice [{start}, {end}) of {n} records")
+    sig = chip_signature(chip)
+    kernel = _kernel_for(sig)
+    rec_line, cols, w_b, c_b, full_counts = _precompute(record, chip, sig)
+    full = start == 0 and end == n
+    if full:
+        seq_line, seq_w, seq_c = rec_line, w_b, c_b
+        kind_counts = full_counts
+    else:
+        seq_line = rec_line[start:end]
+        seq_w = w_b[start:end]
+        seq_c = c_b[start:end] if c_b is not None else None
+        kind_counts = _kind_counts(record.kinds, start, end)
+    if n_accesses is None:
+        n_accesses = record.accesses
+    migration = sig[1]
+    if migration:
+        records_span = end - start
+        ctrl_references = records_span - kind_counts[2]
+        x_refs = seq_c.count(1)
+        sampled = x_refs + (seq_c.count(2) if sig[2] else 0)
+        ctrl_counts = (ctrl_references, sampled, x_refs)
+    else:
+        ctrl_counts = (0, 0, 0)
+    kernel(
+        chip, seq_line, seq_w, seq_c, cols, start, end,
+        n_accesses, max_instruction, kind_counts, ctrl_counts,
+    )
+    return chip.stats
+
+
+def replay_chip_specialized(chip, record):
+    """Full-record replay through the chip's specialized kernel.
+
+    Drop-in equivalent of the inline fast path: bit-identical final
+    state, selected automatically by ``run_chip_filtered`` when the
+    chip is eligible.
+    """
+    return replay_chip_slice(
+        chip,
+        record,
+        0,
+        len(record.lines),
+        n_accesses=record.accesses,
+        max_instruction=record.max_instruction,
+    )

@@ -1,0 +1,415 @@
+"""The post-L1 chip pipeline as an explicit replayable state machine.
+
+A :class:`MultiCoreChip` replaying an L1-filter record is, after the L1
+stage is folded away, a deterministic state machine: per-core L2 arrays
+(lines / dirty bits / LRU timestamps), coherence counters, the
+migration controller (affinity store, R-window FIFOs, saturating
+filters), the migration engine, and the chip/bus counters.  This module
+captures that state as an exact, content-hashable
+:class:`ChipSnapshot` — arrays and scalars only, no live objects — and
+restores it bit-for-bit onto a compatible chip.
+
+Snapshots are the seam both replay attacks build on (see
+``repro.kernels.specialize`` and ``repro.kernels.segmented``): a
+restored chip continues a replay exactly where the snapshot was taken,
+so a trace can be cut at any record boundary and its segments simulated
+independently.
+
+Scope and exclusions (deliberate):
+
+* **L1 caches are not captured.**  Filtered replay (``run_filtered``)
+  never touches the IL1/DL1 — their contents were folded into the
+  record by the L1-filter kernel — so the post-L1 state is the whole
+  replay state.  Digests therefore compare against the deep-state view
+  *without* the L1s.
+* **Probes are not captured.**  A probe is telemetry, not simulator
+  state; restoring onto a probe-attached chip leaves its probe wired
+  and untouched.
+* **Prefetchers are refused.**  They hold internal state this module
+  does not model; snapshotting such a chip would silently drop it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import deque
+
+import numpy as np
+
+from repro.caches.base import EvictedLine
+from repro.caches.skewed import SkewedAssociativeCache
+from repro.core.affinity_store import AffinityCache, UnboundedAffinityStore
+from repro.core.controller import MigrationController
+from repro.core.mechanism import RWindowEntry
+
+SNAPSHOT_VERSION = 1
+
+_META_KEY = "__meta__"
+
+
+class SnapshotError(ValueError):
+    """Chip shape not snapshotable, or snapshot/chip mismatch."""
+
+
+class ChipSnapshot:
+    """Exact state of a chip's post-L1 pipeline at one record boundary.
+
+    ``meta`` holds JSON-able scalars (counters, config, version);
+    ``arrays`` holds numpy arrays with fixed dtypes.  Together they are
+    canonical: :meth:`digest` is stable across processes and platforms.
+    """
+
+    __slots__ = ("meta", "arrays")
+
+    def __init__(self, meta: dict, arrays: "dict[str, np.ndarray]") -> None:
+        self.meta = meta
+        self.arrays = arrays
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical serialization of the state."""
+        h = hashlib.sha256()
+        h.update(
+            json.dumps(self.meta, sort_keys=True, separators=(",", ":")).encode()
+        )
+        for key in sorted(self.arrays):
+            arr = self.arrays[key]
+            h.update(key.encode())
+            h.update(str(arr.dtype).encode())
+            h.update(str(arr.shape).encode())
+            h.update(arr.tobytes())
+        return h.hexdigest()
+
+    def save(self, path) -> None:
+        """Persist as ``.npz`` (atomic publish: tmp + rename)."""
+        path = os.fspath(path)
+        meta_blob = np.frombuffer(
+            json.dumps(self.meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        )
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(fh, **{_META_KEY: meta_blob}, **self.arrays)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    @classmethod
+    def load(cls, path) -> "ChipSnapshot":
+        with np.load(os.fspath(path)) as data:
+            meta = json.loads(bytes(data[_META_KEY].tobytes()).decode("utf-8"))
+            if meta.get("version") != SNAPSHOT_VERSION:
+                raise SnapshotError(
+                    f"snapshot version {meta.get('version')!r} != "
+                    f"{SNAPSHOT_VERSION} ({path})"
+                )
+            arrays = {k: data[k] for k in data.files if k != _META_KEY}
+        return cls(meta, arrays)
+
+
+def _check_snapshotable(chip) -> None:
+    if getattr(chip, "prefetchers", None) is not None:
+        raise SnapshotError(
+            "chip has prefetchers: their internal state is not modelled "
+            "by ChipSnapshot"
+        )
+    for cache in chip.l2s.caches:
+        if type(cache) is not SkewedAssociativeCache:
+            raise SnapshotError(
+                f"unsupported L2 type {type(cache).__name__}: only "
+                "SkewedAssociativeCache chips are snapshotable"
+            )
+    if chip.config.migration_enabled:
+        if type(chip.controller) is not MigrationController:
+            raise SnapshotError(
+                f"unsupported controller type {type(chip.controller).__name__}"
+            )
+        store = chip.controller.store
+        if type(store) not in (AffinityCache, UnboundedAffinityStore):
+            raise SnapshotError(
+                f"unsupported affinity store type {type(store).__name__}"
+            )
+
+
+def _encode_lines(lines) -> np.ndarray:
+    """``None``-bearing line list -> int64 array (``-1`` = empty slot)."""
+    out = np.fromiter(
+        (-1 if v is None else v for v in lines), dtype=np.int64, count=len(lines)
+    )
+    return out
+
+
+def _decode_lines(arr) -> list:
+    return [None if v < 0 else v for v in arr.tolist()]
+
+
+def _mechanism_names(controller) -> "list[str]":
+    if controller.config.num_subsets == 4:
+        return ["x", "yp", "ym"]
+    return ["x"]
+
+
+def _mechanism_list(controller):
+    if controller.config.num_subsets == 4:
+        return [
+            controller.mechanism_x,
+            controller.mechanism_y[+1],
+            controller.mechanism_y[-1],
+        ]
+    return [controller.mechanism_x]
+
+
+def _filter_list(controller):
+    if controller.config.num_subsets == 4:
+        return [
+            controller.filter_x,
+            controller.filter_y[+1],
+            controller.filter_y[-1],
+        ]
+    return [controller.filter_x]
+
+
+def snapshot_chip(chip) -> ChipSnapshot:
+    """Capture the chip's full post-L1 replay state."""
+    _check_snapshotable(chip)
+    meta: dict = {
+        "version": SNAPSHOT_VERSION,
+        "config": chip.config.to_dict(),
+        "stats": chip.stats.to_dict(),
+        "engine": {
+            "active_core": chip.engine.active_core,
+            "migrations": chip.engine.migrations,
+        },
+        "bus": {
+            "register_bytes": chip.bus_traffic.register_bytes,
+            "store_bytes": chip.bus_traffic.store_bytes,
+            "branch_bytes": chip.bus_traffic.branch_bytes,
+            "l1_fill_bytes": chip.bus_traffic.l1_fill_bytes,
+        },
+        "coherence": {
+            "accesses": chip.l2s.stats.accesses,
+            "hits": chip.l2s.stats.hits,
+            "misses": chip.l2s.stats.misses,
+            "forwards": chip.l2s.stats.forwards,
+            "l3_fetches": chip.l2s.stats.l3_fetches,
+            "writebacks": chip.l2s.stats.writebacks,
+            "inactive_updates": chip.l2s.stats.inactive_updates,
+        },
+    }
+    arrays: "dict[str, np.ndarray]" = {}
+    l2_meta = []
+    for core, cache in enumerate(chip.l2s.caches):
+        arrays[f"l2{core}.lines"] = _encode_lines(cache._lines)
+        arrays[f"l2{core}.dirty"] = np.asarray(cache._dirty, dtype=np.uint8)
+        arrays[f"l2{core}.time"] = np.asarray(cache._time, dtype=np.int64)
+        ev = cache.last_eviction
+        st = cache.stats
+        l2_meta.append(
+            {
+                "clock": cache._clock,
+                "stats": [st.accesses, st.hits, st.misses, st.evictions,
+                          st.writebacks],
+                "last_eviction": None if ev is None else [ev.line, bool(ev.dirty)],
+            }
+        )
+    meta["l2"] = l2_meta
+
+    if chip.config.migration_enabled:
+        controller = chip.controller
+        cstats = controller.stats
+        ctrl: dict = {
+            "stats": [
+                cstats.references,
+                cstats.sampled_references,
+                cstats.filter_updates,
+                cstats.transitions,
+            ],
+            "previous_subset": controller._previous_subset,
+        }
+        store = controller.store
+        if type(store) is AffinityCache:
+            ctrl["store"] = {
+                "kind": "cache",
+                "clock": store._clock,
+                "counters": [store.reads, store.writes, store.misses,
+                             store.evictions],
+            }
+            arrays["store.lines"] = _encode_lines(store._lines)
+            arrays["store.values"] = np.asarray(store._values, dtype=np.int64)
+            arrays["store.time"] = np.asarray(store._time, dtype=np.int64)
+        else:
+            keys = sorted(store._values)
+            ctrl["store"] = {
+                "kind": "unbounded",
+                "counters": [store.reads, store.writes, store.misses],
+            }
+            arrays["store.keys"] = np.asarray(keys, dtype=np.int64)
+            arrays["store.values"] = np.asarray(
+                [store._values[k] for k in keys], dtype=np.int64
+            )
+        mech_meta = []
+        for name, mech in zip(_mechanism_names(controller),
+                              _mechanism_list(controller)):
+            mech_meta.append(
+                {
+                    "window_affinity": mech.window_affinity.value,
+                    "delta": mech.delta.value,
+                    "references": mech.references,
+                    "rollover_mark": mech._rollover_mark,
+                }
+            )
+            arrays[f"mech.{name}.fifo_lines"] = np.asarray(
+                [e.line for e in mech._fifo], dtype=np.int64
+            )
+            arrays[f"mech.{name}.fifo_ivalues"] = np.asarray(
+                [e.i_value for e in mech._fifo], dtype=np.int64
+            )
+            arrays[f"mech.{name}.lru_lines"] = np.asarray(
+                list(mech._lru.keys()), dtype=np.int64
+            )
+            arrays[f"mech.{name}.lru_ivalues"] = np.asarray(
+                list(mech._lru.values()), dtype=np.int64
+            )
+        ctrl["mechanisms"] = mech_meta
+        ctrl["filters"] = [
+            {
+                "value": f._counter.value,
+                "updates": f.updates,
+                "sign_changes": f.sign_changes,
+                "last_sign": f._last_sign,
+            }
+            for f in _filter_list(controller)
+        ]
+        meta["controller"] = ctrl
+    else:
+        meta["controller"] = None
+    return ChipSnapshot(meta, arrays)
+
+
+def restore_chip(chip, snapshot: ChipSnapshot) -> None:
+    """Write ``snapshot`` back into ``chip``, in place and exactly.
+
+    The chip must have the same configuration the snapshot was taken
+    from (validated against ``ChipConfig.to_dict``); its probe, if any,
+    is left untouched.
+    """
+    _check_snapshotable(chip)
+    meta, arrays = snapshot.meta, snapshot.arrays
+    if meta["config"] != chip.config.to_dict():
+        raise SnapshotError(
+            "snapshot was taken from a chip with a different configuration"
+        )
+    stats = chip.stats
+    for key, value in meta["stats"].items():
+        setattr(stats, key, int(value))
+    chip.engine.active_core = int(meta["engine"]["active_core"])
+    chip.engine.migrations = int(meta["engine"]["migrations"])
+    bus = chip.bus_traffic
+    for key, value in meta["bus"].items():
+        setattr(bus, key, int(value))
+    coh = chip.l2s.stats
+    for key, value in meta["coherence"].items():
+        setattr(coh, key, int(value))
+    for core, cache in enumerate(chip.l2s.caches):
+        cache._lines[:] = _decode_lines(arrays[f"l2{core}.lines"])
+        cache._dirty[:] = (arrays[f"l2{core}.dirty"] != 0).tolist()
+        cache._time[:] = arrays[f"l2{core}.time"].tolist()
+        entry = meta["l2"][core]
+        cache._clock = int(entry["clock"])
+        st = cache.stats
+        (st.accesses, st.hits, st.misses, st.evictions,
+         st.writebacks) = [int(v) for v in entry["stats"]]
+        ev = entry["last_eviction"]
+        cache.last_eviction = (
+            None if ev is None else EvictedLine(int(ev[0]), bool(ev[1]))
+        )
+    ctrl_meta = meta["controller"]
+    if ctrl_meta is None:
+        return
+    controller = chip.controller
+    cstats = controller.stats
+    (cstats.references, cstats.sampled_references, cstats.filter_updates,
+     cstats.transitions) = [int(v) for v in ctrl_meta["stats"]]
+    controller._previous_subset = int(ctrl_meta["previous_subset"])
+    store = controller.store
+    store_meta = ctrl_meta["store"]
+    if store_meta["kind"] == "cache":
+        if type(store) is not AffinityCache:
+            raise SnapshotError("snapshot has an AffinityCache, chip does not")
+        store._lines[:] = _decode_lines(arrays["store.lines"])
+        store._values[:] = arrays["store.values"].tolist()
+        store._time[:] = arrays["store.time"].tolist()
+        store._clock = int(store_meta["clock"])
+        (store.reads, store.writes, store.misses,
+         store.evictions) = [int(v) for v in store_meta["counters"]]
+    else:
+        if type(store) is not UnboundedAffinityStore:
+            raise SnapshotError("snapshot has an unbounded store, chip does not")
+        store._values.clear()
+        store._values.update(
+            zip(arrays["store.keys"].tolist(), arrays["store.values"].tolist())
+        )
+        (store.reads, store.writes,
+         store.misses) = [int(v) for v in store_meta["counters"]]
+    for name, mech, mmeta in zip(
+        _mechanism_names(controller),
+        _mechanism_list(controller),
+        ctrl_meta["mechanisms"],
+    ):
+        mech.window_affinity._value = int(mmeta["window_affinity"])
+        mech.delta._value = int(mmeta["delta"])
+        mech.references = int(mmeta["references"])
+        mech._rollover_mark = int(mmeta["rollover_mark"])
+        mech._fifo = deque(
+            RWindowEntry(line, ivalue)
+            for line, ivalue in zip(
+                arrays[f"mech.{name}.fifo_lines"].tolist(),
+                arrays[f"mech.{name}.fifo_ivalues"].tolist(),
+            )
+        )
+        mech._lru.clear()
+        mech._lru.update(
+            zip(
+                arrays[f"mech.{name}.lru_lines"].tolist(),
+                arrays[f"mech.{name}.lru_ivalues"].tolist(),
+            )
+        )
+    for f, fmeta in zip(_filter_list(controller), ctrl_meta["filters"]):
+        f._counter._value = int(fmeta["value"])
+        f.updates = int(fmeta["updates"])
+        f.sign_changes = int(fmeta["sign_changes"])
+        f._last_sign = int(fmeta["last_sign"])
+
+
+def chip_digest(chip) -> str:
+    """Content hash of the chip's current post-L1 state."""
+    return snapshot_chip(chip).digest()
+
+
+def config_digest(config) -> str:
+    """Short content hash of a ChipConfig (keys snapshot directories)."""
+    blob = json.dumps(config.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+
+class ChipReplayState:
+    """Snapshot/restore facade over one chip (``chip.replay_state()``)."""
+
+    __slots__ = ("chip",)
+
+    def __init__(self, chip) -> None:
+        _check_snapshotable(chip)
+        self.chip = chip
+
+    def snapshot(self) -> ChipSnapshot:
+        return snapshot_chip(self.chip)
+
+    def restore(self, snapshot: ChipSnapshot) -> None:
+        restore_chip(self.chip, snapshot)
+
+    def digest(self) -> str:
+        return chip_digest(self.chip)

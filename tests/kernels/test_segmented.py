@@ -1,0 +1,125 @@
+"""Segment-parallel replay: planning, capture reuse, stitch identity.
+
+Small real workloads (Olden ``mst``/``em3d`` trimmed hard) run through
+:mod:`repro.kernels.segmented` end to end against an isolated on-disk
+cache: the stitched stats and final digest must equal an independent
+serial replay, the digest chain must verify, ``replay_window`` must
+land on the exact mid-trace state, and ``run_table2_segmented`` must
+produce rows byte-identical to the serial ``run_table2`` driver.
+"""
+
+import pytest
+
+from repro.kernels.l1filter import ensure_l1_filter
+from repro.kernels.segmented import (
+    access_marks,
+    ensure_segment_snapshots,
+    plan_segments,
+    replay_window,
+    run_segmented,
+)
+from repro.kernels.specialize import replay_chip_slice, replay_chip_specialized
+from repro.multicore.chip import ChipConfig, MultiCoreChip
+from repro.multicore.state import chip_digest
+from repro.runtime.cache import ResultCache
+
+WORKLOAD = "mst"
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def cache(tmp_path_factory):
+    return ResultCache(tmp_path_factory.mktemp("seg-cache"))
+
+
+@pytest.fixture(scope="module")
+def record(cache):
+    rec, _cached = ensure_l1_filter(WORKLOAD, scale=SCALE, cache=cache)
+    return rec
+
+
+def test_plan_segments_partitions_exactly():
+    for n in (0, 1, 7, 100):
+        for k in (1, 2, 3, 8):
+            bounds = plan_segments(n, k)
+            assert bounds[0] == 0 and bounds[-1] == n
+            assert len(bounds) == k + 1
+            assert bounds == sorted(bounds)
+    with pytest.raises(ValueError):
+        plan_segments(10, 0)
+
+
+def test_access_marks_partition_the_trace(record):
+    bounds = plan_segments(record.records, 3)
+    marks = access_marks(record, bounds)
+    assert marks[0] == 0
+    assert marks[-1] == record.accesses
+    assert marks == sorted(marks)
+    assert sum(b - a for a, b in zip(marks, marks[1:])) == record.accesses
+
+
+def test_capture_is_reused(cache):
+    manifest1, directory1 = ensure_segment_snapshots(
+        WORKLOAD, scale=SCALE, segments=3, cache=cache
+    )
+    mtimes = {p.name: p.stat().st_mtime_ns for p in directory1.iterdir()}
+    manifest2, directory2 = ensure_segment_snapshots(
+        WORKLOAD, scale=SCALE, segments=3, cache=cache
+    )
+    assert directory2 == directory1
+    assert manifest2 == manifest1
+    assert {
+        p.name: p.stat().st_mtime_ns for p in directory2.iterdir()
+    } == mtimes  # nothing recaptured
+
+
+@pytest.mark.parametrize("segments", (1, 2, 3))
+def test_stitch_matches_serial(cache, record, segments):
+    stitched = run_segmented(
+        WORKLOAD, scale=SCALE, segments=segments, cache=cache
+    )
+    assert stitched.digest_chain_ok
+    assert stitched.stats_identical
+    assert stitched.segments == segments
+    assert stitched.records == record.records
+    serial = MultiCoreChip(ChipConfig())
+    replay_chip_specialized(serial, record)
+    assert stitched.final_digest == chip_digest(serial)
+    assert stitched.stats.to_dict() == serial.stats.to_dict()
+
+
+def test_uneven_boundaries_still_stitch(cache, record):
+    # A segment count that does not divide the record count exercises
+    # the remainder-absorbing boundaries.
+    segments = 7 if record.records % 7 else 6
+    stitched = run_segmented(
+        WORKLOAD, scale=SCALE, segments=segments, cache=cache
+    )
+    assert stitched.digest_chain_ok and stitched.stats_identical
+
+
+def test_replay_window_warm_up_and_discard(cache, record):
+    bounds = plan_segments(record.records, 3)
+    marks = access_marks(record, bounds)
+    # A window that starts strictly inside segment 1 forces warm-up
+    # from boundary b_1, not from the window start.
+    start = bounds[1] + max(1, (bounds[2] - bounds[1]) // 3)
+    end = min(record.records, start + max(1, record.records // 4))
+    chip = replay_window(
+        WORKLOAD, start, end, scale=SCALE, segments=3, cache=cache
+    )
+    expected = MultiCoreChip(ChipConfig())
+    acc_mark = (
+        int(record.indices[end]) if end < record.records else record.accesses
+    )
+    replay_chip_slice(expected, record, 0, end, n_accesses=acc_mark)
+    assert chip_digest(chip) == chip_digest(expected)
+
+
+def test_table2_segmented_rows_identical(cache):
+    from repro.experiments.table2 import run_table2, run_table2_segmented
+
+    names = (WORKLOAD,)
+    serial = run_table2(names, scale=SCALE)
+    segmented = run_table2_segmented(names, scale=SCALE, segments=2)
+    assert segmented == serial

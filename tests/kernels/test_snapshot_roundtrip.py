@@ -1,0 +1,117 @@
+"""Property tests: ``restore(snapshot(s))`` is exact at any cut point.
+
+Hypothesis drives random traces and random mid-trace cut points; a
+snapshot captured there and restored onto a fresh chip must be
+indistinguishable from the original on the full post-L1 deep state
+(``helpers.chip_state`` minus the L1 objects, which a snapshot
+deliberately excludes — filtered replay never touches them), and
+continuing the replay on the restored chip must land bit-identical to
+an uncut replay.  Both regimes are covered: fast-eligible chips cut
+via :func:`~repro.kernels.specialize.replay_chip_slice`, and
+probe-attached chips (generic loop) cut via a prefix of the arrays
+path.  ``.npz`` round-trips must preserve the content digest.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.controller import ControllerConfig
+from repro.kernels.l1filter import build_l1_filter
+from repro.kernels.specialize import replay_chip_slice, replay_chip_specialized
+from repro.multicore.chip import ChipConfig, MultiCoreChip
+from repro.multicore.state import (
+    ChipSnapshot,
+    chip_digest,
+    restore_chip,
+    snapshot_chip,
+)
+from tests.kernels.helpers import chip_state, make_trace, without_l1
+
+steps_strategy = st.lists(
+    st.tuples(st.integers(0, 600), st.integers(0, 2), st.integers(0, 4)),
+    max_size=300,
+)
+
+CONFIGS = {
+    "four_core": lambda: ChipConfig(),
+    "migration_off": lambda: ChipConfig(migration_enabled=False),
+    "stack": lambda: ChipConfig(controller=ControllerConfig.stack_experiment()),
+}
+
+
+@given(
+    steps=steps_strategy,
+    cut_fraction=st.floats(0.0, 1.0),
+    config_name=st.sampled_from(sorted(CONFIGS)),
+)
+@settings(max_examples=40, deadline=None)
+def test_fast_cut_roundtrip_and_continuation(steps, cut_fraction, config_name):
+    _accesses, arrays = make_trace(steps)
+    record = build_l1_filter(*arrays)
+    config = CONFIGS[config_name]()
+    cut = int(cut_fraction * record.records)
+
+    chip = MultiCoreChip(config)
+    acc_mark = (
+        int(record.indices[cut]) if cut < record.records else record.accesses
+    )
+    replay_chip_slice(chip, record, 0, cut, n_accesses=acc_mark)
+    snap = snapshot_chip(chip)
+
+    restored = MultiCoreChip(config)
+    restore_chip(restored, snap)
+    assert chip_digest(restored) == chip_digest(chip)
+    assert without_l1(chip_state(restored)) == without_l1(chip_state(chip))
+
+    # Continue from the restored chip; must equal the uncut replay.
+    replay_chip_slice(
+        restored,
+        record,
+        cut,
+        record.records,
+        n_accesses=record.accesses - acc_mark,
+        max_instruction=record.max_instruction,
+    )
+    full = MultiCoreChip(config)
+    replay_chip_specialized(full, record)
+    assert chip_digest(restored) == chip_digest(full)
+    assert without_l1(chip_state(restored)) == without_l1(chip_state(full))
+
+
+@given(steps=steps_strategy, cut_fraction=st.floats(0.0, 1.0))
+@settings(max_examples=20, deadline=None)
+def test_generic_regime_roundtrip(steps, cut_fraction):
+    # A probe forces the generic per-record loop; snapshots must be
+    # exact for state produced by either regime.
+    from repro.obs import SimProbe
+
+    _accesses, arrays = make_trace(steps)
+    cut = int(cut_fraction * len(arrays[0]))
+    prefix = tuple(a[:cut] for a in arrays)
+    chip = MultiCoreChip(ChipConfig(), probe=SimProbe(name="snap"))
+    chip.run_arrays(*prefix)
+    snap = snapshot_chip(chip)
+    restored = MultiCoreChip(ChipConfig())
+    restore_chip(restored, snap)
+    assert chip_digest(restored) == chip_digest(chip)
+    assert without_l1(chip_state(restored)) == without_l1(chip_state(chip))
+
+
+@given(steps=steps_strategy, cut_fraction=st.floats(0.0, 1.0))
+@settings(max_examples=10, deadline=None)
+def test_npz_roundtrip_preserves_digest(steps, cut_fraction, tmp_path_factory):
+    _accesses, arrays = make_trace(steps)
+    record = build_l1_filter(*arrays)
+    cut = int(cut_fraction * record.records)
+    chip = MultiCoreChip(ChipConfig())
+    acc_mark = (
+        int(record.indices[cut]) if cut < record.records else record.accesses
+    )
+    replay_chip_slice(chip, record, 0, cut, n_accesses=acc_mark)
+    snap = snapshot_chip(chip)
+    path = tmp_path_factory.mktemp("snaps") / "cut.npz"
+    snap.save(path)
+    loaded = ChipSnapshot.load(path)
+    assert loaded.digest() == snap.digest()
+    restored = MultiCoreChip(ChipConfig())
+    restore_chip(restored, loaded)
+    assert chip_digest(restored) == chip_digest(chip)

@@ -25,6 +25,19 @@ class TestGatingRules:
         assert is_gated("speedup.l2_only")
         assert is_gated("refs_per_sec.filtered")
 
+    def test_specialized_and_segmented_keys_are_gated(self):
+        # The BENCH_throughput.json keys added with the specialized /
+        # segment-parallel replay paths must ride the existing gate.
+        assert is_gated("specialized_speedup")
+        assert is_gated("segmented_speedup")
+        assert is_gated("refs_per_sec.specialized")
+        assert is_gated("refs_per_sec.segmented")
+        assert is_gated("refs_per_sec.per_access")
+        # ...while their cost-accounting side-cars stay ungated noise.
+        assert not is_gated("specialized_cold_sec")
+        assert not is_gated("snapshot_capture_sec")
+        assert not is_gated("segments")
+
     def test_noise_and_context_paths_are_not(self):
         assert not is_gated("elapsed_s")
         assert not is_gated("overhead_pct")
