@@ -42,6 +42,16 @@ def _run_experiment(
     table2_memo: "dict[str, list]",
 ) -> str:
     """Produce one experiment's rendered report."""
+    if experiment == "population":
+        from repro.experiments.variants import render_population, run_population
+
+        reports = []
+        for name in args.workloads:
+            result = run_population(
+                name, scale=args.scale, seed=args.seed, runtime=runtime
+            )
+            reports.append(render_population(result))
+        return "\n".join(reports)
     if experiment == "figure3":
         return render_figure3(run_figure3_with_runtime(runtime))
     if experiment == "table1":
@@ -133,6 +143,14 @@ def main(argv: "list[str] | None" = None) -> int:
         help="worker processes (1 = in-process serial, for debugging)",
     )
     parser.add_argument(
+        "--population",
+        action="store_true",
+        help="run the variant population sweep instead of the paper "
+        "experiments: every chip variant replays one shared L1-filter "
+        "record per workload (fork-inherited or shared-memory; see "
+        "docs/performance.md)",
+    )
+    parser.add_argument(
         "--segments",
         type=int,
         default=None,
@@ -215,7 +233,19 @@ def main(argv: "list[str] | None" = None) -> int:
             "--checkpoint instrument local execution and cannot be "
             "combined with it"
         )
-    selected = args.only or list(_EXPERIMENTS)
+    if args.population and args.only:
+        parser.error(
+            "--population is its own experiment pass and cannot be "
+            "combined with --only"
+        )
+    if args.population and args.server:
+        parser.error(
+            "--population coordinates record sharing locally and cannot "
+            "be combined with --server"
+        )
+    selected = (
+        ["population"] if args.population else (args.only or list(_EXPERIMENTS))
+    )
     profile_dir = None
     if args.profile:
         from pathlib import Path

@@ -112,6 +112,50 @@ def run_sweep(
     return payloads(outcomes)
 
 
+def run_population(
+    name: str,
+    scale: float = 1.0,
+    seed: "int | None" = None,
+    runtime=None,
+    variants: "Sequence[str]" = VARIANT_NAMES,
+    share_memory: bool = True,
+):
+    """Population-batch twin of :func:`run_sweep`.
+
+    Delegates to :func:`repro.kernels.sweep.evaluate_population`: the
+    L1-filter record is materialised once in the coordinating process
+    and shared with workers (fork inheritance or shared memory) instead
+    of each variant job re-reading the sidecar.  Returns the
+    :class:`~repro.kernels.sweep.PopulationResult`; ``result.rows`` is
+    render-compatible with :func:`render_sweep`.
+    """
+    from repro.kernels.sweep import evaluate_population
+
+    return evaluate_population(
+        name,
+        variants,
+        scale=scale,
+        seed=seed,
+        runtime=runtime,
+        share_memory=share_memory,
+    )
+
+
+def render_population(result) -> str:
+    """Render one :class:`~repro.kernels.sweep.PopulationResult`: the
+    ordinary sweep table plus the record-sharing footer."""
+    sources = ", ".join(
+        f"{count}× {source}"
+        for source, count in sorted(result.record_sources.items())
+    )
+    return (
+        render_sweep(result.rows)
+        + f"\nrecord loads: {result.shared_record_loads} "
+        + f"(sources: {sources or 'none'}; "
+        + f"{result.wall_seconds:.2f}s wall)\n"
+    )
+
+
 def render_sweep(rows: "Sequence[dict[str, object]]") -> str:
     body = render_rows(
         ["variant", "L2 accesses", "L2 misses", "migrations", "L1 reuse"],

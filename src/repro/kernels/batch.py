@@ -155,13 +155,12 @@ def run_hierarchy_filtered(hierarchy, record: L1FilterRecord):
     """Replay an L1-filter record through the baseline's L2."""
     record.require_match(hierarchy.config)
     if _hierarchy_fast_eligible(hierarchy):
-        _replay_hierarchy_fast(
-            hierarchy,
-            record.lines.tolist(),
-            record.kinds.tolist(),
-            record.accesses,
-            record.max_instruction,
-        )
+        # Shape-specialized replay (repro.kernels.specialize): exact
+        # same contract as _replay_hierarchy_fast, which remains below
+        # as the reference twin the differential tests replay against.
+        from repro.kernels.specialize import replay_hierarchy_specialized
+
+        replay_hierarchy_specialized(hierarchy, record)
     else:
         _replay_hierarchy_generic(hierarchy, record)
     return hierarchy.stats

@@ -46,6 +46,7 @@ import numpy as np
 from repro import faults
 from repro.caches.base import EvictedLine
 from repro.obs import trace_context
+from repro.obs.metrics import process_counter
 from repro.caches.fully_assoc import FullyAssociativeCache
 from repro.caches.hierarchy import CoreCacheConfig
 from repro.caches.set_assoc import SetAssociativeCache
@@ -116,12 +117,18 @@ def l1_miss_stream(
     n = len(addresses)
     index = 0
     for start in range(0, n, _CHUNK):
-        chunk_lines = (addresses[start : start + _CHUNK] // line_size).tolist()
+        chunk = addresses[start : start + _CHUNK] // line_size
+        chunk_lines = chunk.tolist()
         chunk_kinds = kinds[start : start + _CHUNK].tolist()
-        for line, kind in zip(chunk_lines, chunk_kinds):
+        # Set indices for the whole chunk in two numpy passes (one when
+        # the IL1/DL1 geometries agree, the common case) instead of a
+        # scalar ``line & mask`` per reference.
+        d_idx = (chunk & np.int64(dmask)).tolist()
+        i_idx = d_idx if imask == dmask else (chunk & np.int64(imask)).tolist()
+        for line, kind, di, ii in zip(chunk_lines, chunk_kinds, d_idx, i_idx):
             if kind == 1:  # LOAD
                 d_accesses += 1
-                cache_set = dsets[line & dmask]
+                cache_set = dsets[di]
                 if line in cache_set:
                     d_hits += 1
                     move(cache_set, line)
@@ -141,7 +148,7 @@ def l1_miss_stream(
                     append_kind(1)
             elif kind == 0:  # FETCH
                 i_accesses += 1
-                cache_set = isets[line & imask]
+                cache_set = isets[ii]
                 if line in cache_set:
                     i_hits += 1
                     move(cache_set, line)
@@ -161,7 +168,7 @@ def l1_miss_stream(
                     append_kind(0)
             else:  # STORE: write-through, non-write-allocate DL1
                 d_accesses += 1
-                cache_set = dsets[line & dmask]
+                cache_set = dsets[di]
                 if line in cache_set:
                     d_hits += 1
                     move(cache_set, line)
@@ -360,6 +367,45 @@ def _sidecar_path(cache: ResultCache, job: Job) -> Path:
     return cache.generation_dir / f"{job.hash}.l1f.npz"
 
 
+# -- in-process record reuse --------------------------------------------
+#
+# A sweep process (serial mode, a service worker replaying many
+# variants, the population coordinator) calls ``ensure_l1_filter`` once
+# per variant; re-reading the same ``.l1f.npz`` each time costs an npz
+# decompress *and* forfeits the per-record precompute memoised on the
+# record object.  Successfully *loaded* records are therefore kept in a
+# small process-level LRU keyed by the sidecar's on-disk identity
+# ``(path, inode, mtime_ns, size)`` — a rebuilt or replaced sidecar
+# (atomic ``os.replace`` mints a new inode) can never be served stale,
+# and the build path never populates the cache, so the
+# quarantine-and-rebuild recovery contract is unchanged.
+
+_RECORD_CACHE_CAP = 8
+_OPEN_RECORDS: "OrderedDict[tuple, L1FilterRecord]" = OrderedDict()
+
+
+def _open_record_key(sidecar: Path) -> "tuple | None":
+    """The sidecar's identity key, or ``None`` when it is not a file."""
+    try:
+        st = os.stat(sidecar)
+    except OSError:
+        return None
+    return (str(sidecar), st.st_ino, st.st_mtime_ns, st.st_size)
+
+
+def _remember_open_record(key: tuple, record: L1FilterRecord) -> None:
+    _OPEN_RECORDS[key] = record
+    _OPEN_RECORDS.move_to_end(key)
+    while len(_OPEN_RECORDS) > _RECORD_CACHE_CAP:
+        _OPEN_RECORDS.popitem(last=False)
+        process_counter("l1filter.record_cache.evictions").inc()
+
+
+def drop_open_records() -> None:
+    """Forget every in-process record (test isolation)."""
+    _OPEN_RECORDS.clear()
+
+
 def _record_payload(record: L1FilterRecord) -> "dict[str, object]":
     return {
         "accesses": record.accesses,
@@ -390,10 +436,19 @@ def ensure_l1_filter(
     cache = cache or ResultCache()
     job = l1_filter_job_for(name, scale=scale, seed=seed)
     sidecar = _sidecar_path(cache, job)
-    if sidecar.is_file():
+    key = _open_record_key(sidecar)
+    if key is not None:
+        open_record = _OPEN_RECORDS.get(key)
+        if open_record is not None:
+            _OPEN_RECORDS.move_to_end(key)
+            process_counter("l1filter.record_cache.hits").inc()
+            return open_record, True
         try:
             with trace_context.phase("l1filter.load", workload=name):
-                return L1FilterRecord.load(sidecar), True
+                record = L1FilterRecord.load(sidecar)
+            process_counter("l1filter.record_cache.loads").inc()
+            _remember_open_record(key, record)
+            return record, True
         except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
             # Corrupt or stale sidecar (torn write survived a crash, bit
             # rot, old record version): quarantine it next to corrupt

@@ -15,12 +15,28 @@ of record ``i`` in a reign is ``cbase + i``).
 The **shape signature** — the dispatch key — is::
 
     (l2_ways, migration_enabled, four_way, store_kind, slots_shared,
-     l2_filtering, track_window_affinity)
+     l2_filtering, track_window_affinity, store_ways)
+
+``store_ways`` is non-zero only for a finite affinity cache whose
+geometry *differs* from the L2s: those kernels carry a second
+precomputed slot matrix for the store, so affinity-cache misses on
+R-window evictions never hash scalar-ly in the loop (when the
+geometries agree — ``slots_shared`` — the L2 row is reused, as
+before).
 
 Generated kernels are cached in a module dispatch table
 (:func:`dispatch_table`); per-record precomputation (slot-matrix
-columns, store/control byte streams) is memoised on the record object,
-so sweeps replaying one record through many variants pay it once.
+columns, store/control byte streams) is memoised on the record object
+in a small LRU (:data:`_PRECOMP_CAP` geometry keys; evictions counted
+on the process obs registry as ``kernels.precompute.evictions``), so
+sweeps replaying one record through many variants pay it once while
+long-lived service processes stay bounded.
+
+The single-core baseline gets the same treatment:
+:func:`replay_hierarchy_specialized` generates a per-associativity
+kernel for the skewed L2 of ``SingleCoreHierarchy`` (dict-based
+residency, index-derived clocks, precomputed slot columns) — the
+inline loop in :mod:`repro.kernels.batch` stays as its reference twin.
 
 Exactness contract: replaying through a specialized kernel leaves the
 chip in **bit-identical** state to the per-access seed simulator —
@@ -35,6 +51,8 @@ is built on.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.caches.base import EvictedLine
@@ -42,9 +60,18 @@ from repro.caches.skewed import skew_hash
 from repro.core.affinity_store import AffinityCache
 from repro.core.mechanism import RWindowEntry
 from repro.kernels.arrays import skew_slot_matrix
-from repro.kernels.batch import _UNSET, _chip_fast_eligible
+from repro.kernels.batch import (
+    _UNSET,
+    _chip_fast_eligible,
+    _hierarchy_fast_eligible,
+)
+from repro.obs.metrics import process_counter
 
 _PRECOMP_ATTR = "_specialized_precomp"
+_BASE_ATTR = "_specialized_base"
+
+#: geometry keys kept per record before LRU eviction
+_PRECOMP_CAP = 8
 
 #: signature -> (compiled kernel, generated source)
 _KERNELS: dict = {}
@@ -60,7 +87,7 @@ def chip_signature(chip) -> tuple:
     """The shape signature keying the kernel dispatch table."""
     first = chip.l2s.caches[0]
     if not chip.config.migration_enabled:
-        return (first.ways, False, False, "none", False, False, False)
+        return (first.ways, False, False, "none", False, False, False, 0)
     controller = chip.controller
     cfg = controller.config
     store = controller.store
@@ -69,9 +96,11 @@ def chip_signature(chip) -> tuple:
         slots_shared = (
             store._num_sets == first.num_sets and store.ways == first.ways
         )
+        store_ways = 0 if slots_shared else store.ways
     else:
         store_kind = "unbounded"
         slots_shared = False
+        store_ways = 0
     return (
         first.ways,
         True,
@@ -80,6 +109,7 @@ def chip_signature(chip) -> tuple:
         slots_shared,
         cfg.l2_filtering,
         controller.mechanism_x.track_true_window_affinity,
+        store_ways,
     )
 
 
@@ -143,18 +173,58 @@ else:
     {default}"""
 
 
-def _store_write(store_kind: str, slots_shared: bool) -> str:
+def _store_victim_scan(col_names: "list[str]") -> str:
+    """Unrolled store victim selection over the entry's slot row
+    (``s*``/``t*`` columns indexed by the FIFO entry's record index):
+    first empty slot wins, else strict LRU with first-wins ties —
+    exactly the generic ``erow`` loop's order."""
+    names = [f"b{w}" for w in range(len(col_names))]
+    lines = [
+        f"{b} = {col}[ej]" for b, col in zip(names, col_names)
+    ]
+    if len(names) == 1:
+        lines.append(f"svictim = {names[0]}")
+        return "\n".join(lines)
+    for w, name in enumerate(names):
+        kw = "if" if w == 0 else "elif"
+        lines.append(f"{kw} st_lines[{name}] is None:")
+        lines.append(f"    svictim = {name}")
+    lines.append("else:")
+    lines.append(f"    svictim = {names[0]}")
+    lines.append(f"    vt = st_time[{names[0]}]")
+    for w, name in enumerate(names[1:], start=1):
+        last = w == len(names) - 1
+        lines.append(f"    t = st_time[{name}]")
+        lines.append("    if t < vt:")
+        if last:
+            lines.append(f"        svictim = {name}")
+        else:
+            lines.append(f"        svictim = {name}; vt = t")
+    return "\n".join(lines)
+
+
+def _store_write(store_kind: str, col_names: "list[str] | None") -> str:
     if store_kind == "unbounded":
         return """st_writes += 1
 ub_values[evicted[0]] = o_f"""
-    if slots_shared:
-        row_source = """erow = evicted[2]
-    if erow is None:
-        erow = [wy * st_num_sets + skew_hash(eline, wy, st_index_bits)
-                for wy in st_way_range]"""
-    else:
-        row_source = """erow = [wy * st_num_sets + skew_hash(eline, wy, st_index_bits)
-            for wy in st_way_range]"""
+    # A finite store: every R-window entry carries the *record index*
+    # of the reference that enqueued it, so a write miss probes the
+    # precomputed slot columns directly (no per-entry row tuple); the
+    # scalar skew_hash loop is only the fallback for entries inherited
+    # from a previous replay.
+    fallback = """erow = [wy * st_num_sets + skew_hash(eline, wy, st_index_bits)
+        for wy in st_way_range]
+svictim = -1
+svictim_time = None
+for s in erow:
+    if st_lines[s] is None:
+        svictim = s
+        svictim_time = None
+        break
+    s_t = st_time[s]
+    if svictim_time is None or s_t < svictim_time:
+        svictim = s
+        svictim_time = s_t"""
     return f"""st_writes += 1
 st_clock += 1
 eline = evicted[0]
@@ -163,18 +233,11 @@ if wslot is not None:
     st_values[wslot] = o_f
     st_time[wslot] = st_clock
 else:
-    {row_source}
-    svictim = -1
-    svictim_time = None
-    for s in erow:
-        if st_lines[s] is None:
-            svictim = s
-            svictim_time = None
-            break
-        s_t = st_time[s]
-        if svictim_time is None or s_t < svictim_time:
-            svictim = s
-            svictim_time = s_t
+    ej = evicted[2]
+    if ej is None:
+{_indent(fallback, 8)}
+    else:
+{_indent(_store_victim_scan(col_names), 8)}
     vl = st_lines[svictim]
     if vl is not None:
         st_evictions += 1
@@ -205,7 +268,8 @@ _MIGRATION_FLUSH = """if subset != active:
     a_lastmiss = -2
     reign_start = i + 1
     cbase = clock_fl[active] - reign_start + 1
-    occ = tuple(cc for cc in range(num_cores)
+    occ = tuple((idx_by_core[cc].get, dirty_by_core[cc])
+                for cc in range(num_cores)
                 if cc != active and idx_by_core[cc])"""
 
 
@@ -225,11 +289,16 @@ def _mechanism_block(
     prefix: str,
     sig_track: bool,
     store_kind: str,
-    slots_shared: bool,
+    st_col_names: "list[str] | None",
     filter_source: str,
 ) -> str:
     p = prefix
-    entry = f"(line, i_e, row)" if slots_shared else "make_entry(line, i_e)"
+    if st_col_names is not None:
+        # finite store: carry the record index; the write-miss path
+        # probes the precomputed slot columns by that index
+        entry = "(line, i_e, i)"
+    else:
+        entry = "make_entry(line, i_e)"
     if sig_track:
         step_source = f"""if {p}_w >= 0:
     step = 1
@@ -257,7 +326,7 @@ if {p}_len >= {p}_ws:
     evicted = {p}_popleft()
     value = evicted[1] + 2 * delta
     o_f = {p}_lo if value < {p}_lo else {p}_hi if value > {p}_hi else value
-{_indent(_store_write(store_kind, slots_shared), 4)}
+{_indent(_store_write(store_kind, st_col_names), 4)}
     value = {p}_w + (o_e - o_f)
 else:
     {p}_len += 1
@@ -305,7 +374,7 @@ else:
     subset = 2 if fn_v >= 0 else 3"""
 
 
-def _mech_locals(prefix: str, index: int, slots_shared: bool) -> str:
+def _mech_locals(prefix: str, index: int, triple_entries: bool) -> str:
     p = prefix
     source = f"""_m{index} = mechs[{index}]
 {p}_ws = _m{index}.window_size
@@ -321,7 +390,7 @@ def _mech_locals(prefix: str, index: int, slots_shared: bool) -> str:
 {p}_append = {p}_fifo.append
 {p}_popleft = {p}_fifo.popleft
 {p}_len = len({p}_fifo)"""
-    if slots_shared:
+    if triple_entries:
         source += f"""
 if {p}_len:
     entries = [(e[0], e[1], None) for e in {p}_fifo]
@@ -330,12 +399,12 @@ if {p}_len:
     return source
 
 
-def _mech_flush(prefix: str, index: int, refs: str, slots_shared: bool) -> str:
+def _mech_flush(prefix: str, index: int, refs: str, triple_entries: bool) -> str:
     p = prefix
     source = f"""mechs[{index}].delta._value = {p}_d
 mechs[{index}].window_affinity._value = {p}_w
 mechs[{index}].references += {refs}"""
-    if slots_shared:
+    if triple_entries:
         source += f"""
 if {p}_fifo:
     entries = [make_entry(e[0], e[1]) for e in {p}_fifo]
@@ -363,31 +432,35 @@ _f_{fp}._last_sign = {fp}_ls"""
 
 def _build_source(sig: tuple) -> str:
     (ways, migration, four_way, store_kind, slots_shared,
-     l2_filtering, track) = sig
+     l2_filtering, track, st_ways) = sig
 
     cols_unpack = ", ".join(f"s{w}" for w in range(ways))
     if ways == 1:
         cols_unpack += ","
+    st_unpack = ""
+    if st_ways:
+        st_unpack = ", ".join(f"t{w}" for w in range(st_ways))
+        if st_ways == 1:
+            st_unpack += ","
+        st_unpack = f"{st_unpack} = st_cols"
 
     # --- per-record L2 section of the loop body -----------------------
-    demote = """if occ:
-    for core in occ:
-        oslot = idx_by_core[core].get(line)
+    # ``occ`` carries prebuilt (idx.get, dirty_list) pairs per occupied
+    # inactive core — rebuilt only at migrations, so the per-reference
+    # coherence probes skip the two indexed lookups per core.  ``share``
+    # counts how many cores hold each line; only the active core ever
+    # installs or evicts, so two dict updates per miss keep it exact,
+    # and the probe loops run only when another copy actually exists
+    # (the common case — no copy anywhere else — costs one dict get).
+    demote = """if share_get(line) > 1:
+    for og, od in occ:
+        oslot = og(line)
         if oslot is not None:
-            dirty_by_core[core][oslot] = False
+            od[oslot] = False
             coh_updates += 1"""
     if migration:
         hit_tail = "if not c:\n    continue\nl2_miss = False"
         miss_tail = "if not c:\n    continue\nl2_miss = True"
-        if slots_shared:
-            row_hit = "(" + ", ".join(f"s{w}[i]" for w in range(ways)) + (
-                ",)" if ways == 1 else ")"
-            )
-            row_miss = "(" + ", ".join(f"sa{w}" for w in range(ways)) + (
-                ",)" if ways == 1 else ")"
-            )
-            hit_tail += f"\nrow = {row_hit}"
-            miss_tail += f"\nrow = {row_miss}"
     else:
         hit_tail = "continue"
         miss_tail = "continue"
@@ -414,6 +487,11 @@ else:
             coh_writebacks += 1
         a_lastev = (victim_line, vd)
         del a_idx[victim_line]
+        vs_ = share[victim_line]
+        if vs_ == 1:
+            del share[victim_line]
+        else:
+            share[victim_line] = vs_ - 1
     else:
         a_lastev = None
     a_lastmiss = i
@@ -421,13 +499,15 @@ else:
     a_dirty[victim] = True if w else False
     a_time[victim] = cbase + i
     a_idx[line] = victim
-    if occ:
+    others = share_get(line, 0)
+    share[line] = others + 1
+    if others:
         forwarded = False
-        for core in occ:
-            oslot = idx_by_core[core].get(line)
+        for og, od in occ:
+            oslot = og(line)
             if oslot is not None:
-                if dirty_by_core[core][oslot]:
-                    dirty_by_core[core][oslot] = False
+                if od[oslot]:
+                    od[oslot] = False
                     forwarded = True
                     break
         if forwarded:
@@ -435,29 +515,38 @@ else:
         else:
             coh_l3 += 1
         if w:
-            for core in occ:
-                oslot = idx_by_core[core].get(line)
+            for og, od in occ:
+                oslot = og(line)
                 if oslot is not None:
-                    dirty_by_core[core][oslot] = False
+                    od[oslot] = False
                     coh_updates += 1
     else:
         coh_l3 += 1
 {_indent(miss_tail, 4)}"""
 
     # --- sampled controller step --------------------------------------
+    # Slot columns the store's write-miss path probes by record index:
+    # the L2's own ``s*`` columns when the geometries agree, a second
+    # ``t*`` matrix when the store is finite but shaped differently.
+    if store_kind != "cache":
+        st_col_names = None
+    elif slots_shared:
+        st_col_names = [f"s{w}" for w in range(ways)]
+    else:
+        st_col_names = [f"t{w}" for w in range(st_ways)]
     if not migration:
         ctrl_body = ""
     elif four_way:
         block_x = _mechanism_block(
-            "x", track, store_kind, slots_shared,
+            "x", track, store_kind, st_col_names,
             _filter_update("fx", _SUBSET_X_4WAY, l2_filtering),
         )
         block_p = _mechanism_block(
-            "p", track, store_kind, slots_shared,
+            "p", track, store_kind, st_col_names,
             _filter_update("fp", _subset_y("fp"), l2_filtering),
         )
         block_m = _mechanism_block(
-            "m", track, store_kind, slots_shared,
+            "m", track, store_kind, st_col_names,
             _filter_update("fn", _subset_y("fn"), l2_filtering),
         )
         ctrl_body = f"""if c == 1:
@@ -470,7 +559,7 @@ else:
 {_indent(block_m, 4)}"""
     else:
         ctrl_body = _mechanism_block(
-            "x", track, store_kind, slots_shared,
+            "x", track, store_kind, st_col_names,
             _filter_update("fx", _SUBSET_X_2WAY, l2_filtering),
         )
 
@@ -510,12 +599,14 @@ st_reads = st_writes = st_misses = 0"""
             store_flush = """store.reads += st_reads
 store.writes += st_writes
 store.misses += st_misses"""
+        triple_entries = store_kind == "cache"
         ctrl_locals = "\n".join(
             ["controller = chip.controller",
              "store = controller.store",
              "mechs = controller.mechanisms()",
              store_locals]
-            + [_mech_locals(p, idx, slots_shared) for p, idx in prefixes]
+            + ([st_unpack] if st_ways else [])
+            + [_mech_locals(p, idx, triple_entries) for p, idx in prefixes]
             + [_filter_locals(fp, expr) for fp, expr in filters]
             + (["p_refs = m_refs = 0"] if four_way else [])
             + ["updates = transitions = 0"]
@@ -533,7 +624,7 @@ store.misses += st_misses"""
              "cstats.filter_updates += updates",
              "cstats.transitions += transitions",
              "controller._previous_subset = active"]
-            + [_mech_flush(p, idx, refs, slots_shared)
+            + [_mech_flush(p, idx, refs, triple_entries)
                for p, idx, refs in mech_refs]
             + [_filter_flush(fp) for fp, _ in filters]
             + [store_flush]
@@ -548,8 +639,9 @@ for {loop_vars} in zip({zip_args}):
 {_indent(l2_body, 4)}
 {_indent(ctrl_body, 4)}"""
 
-    source = f"""def _replay(chip, seq_line, seq_w, seq_c, cols, start, end,
-            n_accesses, max_instruction, kind_counts, ctrl_counts):
+    source = f"""def _replay(chip, seq_line, seq_w, seq_c, cols, st_cols,
+            start, end, n_accesses, max_instruction, kind_counts,
+            ctrl_counts):
     caches = chip.l2s.caches
     num_cores = len(caches)
     engine = chip.engine
@@ -563,6 +655,11 @@ for {loop_vars} in zip({zip_args}):
             if ln is not None:
                 d[ln] = slot
         idx_by_core.append(d)
+    share = {{}}
+    share_get = share.get
+    for d in idx_by_core:
+        for ln in d:
+            share[ln] = share_get(ln, 0) + 1
     active = engine.active_core
     migrations = 0
     {cols_unpack} = cols
@@ -584,7 +681,9 @@ for {loop_vars} in zip({zip_args}):
     a_lastmiss = -2
     reign_start = start
     cbase = clock_fl[active] - reign_start + 1
-    occ = tuple(c for c in range(num_cores) if c != active and idx_by_core[c])
+    occ = tuple((idx_by_core[c].get, dirty_by_core[c])
+                for c in range(num_cores)
+                if c != active and idx_by_core[c])
 {_indent(loop, 4)}
     if end > start:
         clock_fl[active] = cbase + end - 1
@@ -655,53 +754,108 @@ def _kernel_for(sig: tuple):
 
 
 # -- per-record precomputation (memoised on the record) -----------------
+#
+# Two tiers: geometry-independent work (line list, write bytes, kind
+# counts) is computed once per record (`_record_base`); everything
+# keyed by chip geometry/sampling (slot columns, control bytes, store
+# columns) lives in a small LRU so a tuner replaying one record through
+# hundreds of distinct geometries cannot grow a service process without
+# bound.  LRU evictions are counted on the process obs registry.
+
+
+def _record_base(record):
+    """``(rec_line list, w_b bytes, full kind counts)`` — shared by
+    every geometry (and by the hierarchy kernel)."""
+    base = record.__dict__.get(_BASE_ATTR)
+    if base is None:
+        kinds_np = record.kinds
+        base = (
+            record.lines.tolist(),
+            (kinds_np >= 2).astype(np.uint8).tobytes(),
+            _kind_counts(kinds_np, 0, len(kinds_np)),
+        )
+        record.__dict__[_BASE_ATTR] = base
+    return base
+
+
+def _precomp_memo(record) -> "OrderedDict":
+    memo = record.__dict__.get(_PRECOMP_ATTR)
+    if memo is None:
+        memo = record.__dict__[_PRECOMP_ATTR] = OrderedDict()
+    return memo
+
+
+def _trim_memo(memo: "OrderedDict") -> None:
+    while len(memo) > _PRECOMP_CAP:
+        memo.popitem(last=False)
+        process_counter("kernels.precompute.evictions").inc()
+
+
+def _slot_cols(record, num_sets: int, ways: int, memo):
+    """Slot columns for one skewed geometry, memoised independently of
+    any controller state so every same-geometry consumer — the baseline
+    hierarchy, each chip variant, a non-shared store — reuses one
+    entry."""
+    key = ("cols", num_sets, ways)
+    hit = memo.get(key)
+    if hit is not None:
+        memo.move_to_end(key)
+        return hit
+    smat = skew_slot_matrix(record.lines, num_sets, ways)
+    cols = tuple(smat[:, w].tolist() for w in range(ways))
+    memo[key] = cols
+    _trim_memo(memo)
+    return cols
 
 
 def _precompute(record, chip, sig):
-    ways, migration, four_way = sig[0], sig[1], sig[2]
+    ways, migration, four_way, st_ways = sig[0], sig[1], sig[2], sig[7]
     first = chip.l2s.caches[0]
     num_sets = first.num_sets
-    if migration:
-        sampling = chip.controller.config.sampling
-        sampling_key = (sampling.modulus, sampling.sampled_residues)
-    else:
-        sampling_key = None
-    key = (num_sets, ways, migration, four_way, sampling_key)
-    memo = record.__dict__.setdefault(_PRECOMP_ATTR, {})
-    hit = memo.get(key)
-    if hit is not None:
-        return hit
+    rec_line, w_b, full_counts = _record_base(record)
+    memo = _precomp_memo(record)
+    cols = _slot_cols(record, num_sets, ways, memo)
     lines_np = record.lines
     kinds_np = record.kinds
     n = len(lines_np)
-    smat = skew_slot_matrix(lines_np, num_sets, ways)
-    cols = tuple(smat[:, w].tolist() for w in range(ways))
-    w_b = (kinds_np >= 2).astype(np.uint8).tobytes()
     if migration:
-        modulus, residues = sampling_key
-        req = kinds_np != 2
-        if residues is None:
-            samp = req
-            res = None
+        sampling = chip.controller.config.sampling
+        sampling_key = (sampling.modulus, sampling.sampled_residues)
+        ckey = ("ctrl", sampling_key, four_way)
+        c_b = memo.get(ckey)
+        if c_b is not None:
+            memo.move_to_end(ckey)
         else:
-            res = lines_np % modulus
-            samp = np.isin(res, np.fromiter(residues, dtype=np.int64)) & req
-        ctrl = np.zeros(n, np.uint8)
-        if four_way:
-            if res is None:
+            modulus, residues = sampling_key
+            req = kinds_np != 2
+            if residues is None:
+                samp = req
+                res = None
+            else:
                 res = lines_np % modulus
-            odd = (res & 1) == 1
-            ctrl[samp & odd] = 1
-            ctrl[samp & ~odd] = 2
-        else:
-            ctrl[samp] = 1
-        c_b = ctrl.tobytes()
+                samp = np.isin(
+                    res, np.fromiter(residues, dtype=np.int64)
+                ) & req
+            ctrl = np.zeros(n, np.uint8)
+            if four_way:
+                if res is None:
+                    res = lines_np % modulus
+                odd = (res & 1) == 1
+                ctrl[samp & odd] = 1
+                ctrl[samp & ~odd] = 2
+            else:
+                ctrl[samp] = 1
+            c_b = ctrl.tobytes()
+            memo[ckey] = c_b
+            _trim_memo(memo)
     else:
         c_b = None
-    full_counts = _kind_counts(kinds_np, 0, n)
-    out = (record.lines.tolist(), cols, w_b, c_b, full_counts)
-    memo[key] = out
-    return out
+    if st_ways:
+        store_sets = chip.controller.store._num_sets
+        st_cols = _slot_cols(record, store_sets, st_ways, memo)
+    else:
+        st_cols = None
+    return (rec_line, cols, w_b, c_b, full_counts, st_cols)
 
 
 def _kind_counts(kinds_np, start, end):
@@ -749,7 +903,9 @@ def replay_chip_slice(
         raise ValueError(f"bad slice [{start}, {end}) of {n} records")
     sig = chip_signature(chip)
     kernel = _kernel_for(sig)
-    rec_line, cols, w_b, c_b, full_counts = _precompute(record, chip, sig)
+    rec_line, cols, w_b, c_b, full_counts, st_cols = _precompute(
+        record, chip, sig
+    )
     full = start == 0 and end == n
     if full:
         seq_line, seq_w, seq_c = rec_line, w_b, c_b
@@ -771,7 +927,7 @@ def replay_chip_slice(
     else:
         ctrl_counts = (0, 0, 0)
     kernel(
-        chip, seq_line, seq_w, seq_c, cols, start, end,
+        chip, seq_line, seq_w, seq_c, cols, st_cols, start, end,
         n_accesses, max_instruction, kind_counts, ctrl_counts,
     )
     return chip.stats
@@ -792,3 +948,135 @@ def replay_chip_specialized(chip, record):
         n_accesses=record.accesses,
         max_instruction=record.max_instruction,
     )
+
+
+# -- the single-core baseline's specialized replay ----------------------
+#
+# The baseline hierarchy replays a record through one skewed L2; the
+# inline loop in repro.kernels.batch (_replay_hierarchy_fast, the
+# reference twin) scans the slot row per record and recomputes the
+# whole slot matrix per call.  The generated kernel below applies the
+# chip kernel's tricks — dict-based residency for an O(1) hit check,
+# timestamps derived from the loop index, slot *columns* memoised on
+# the record — and is selected by ``run_hierarchy_filtered`` whenever
+# the hierarchy is fast-eligible.
+
+#: l2 ways -> (compiled kernel, generated source)
+_HIER_KERNELS: dict = {}
+
+
+def hierarchy_specializable(hierarchy) -> bool:
+    """Same eligibility as the inline hierarchy fast path."""
+    return _hierarchy_fast_eligible(hierarchy)
+
+
+def _build_hierarchy_source(ways: int) -> str:
+    cols_unpack = ", ".join(f"s{w}" for w in range(ways))
+    if ways == 1:
+        cols_unpack += ","
+    source = f"""def _replay_hier(hierarchy, seq_line, seq_w, cols, n_records,
+                 n_accesses, l1_miss_count, max_instruction):
+    l2 = hierarchy.l2
+    a_lines = l2._lines
+    a_dirty = l2._dirty
+    a_time = l2._time
+    a_idx = {{}}
+    for slot, ln in enumerate(a_lines):
+        if ln is not None:
+            a_idx[ln] = slot
+    a_idx_get = a_idx.get
+    cbase = l2._clock + 1
+    {cols_unpack} = cols
+    hits = evictions = writebacks = 0
+    last_eviction = _UNSET
+    i = -1
+    for line, w in zip(seq_line, seq_w):
+        i += 1
+        slot = a_idx_get(line)
+        if slot is not None:
+            hits += 1
+            a_time[slot] = cbase + i
+            if w:
+                a_dirty[slot] = True
+            last_eviction = None
+            continue
+{_indent(_victim_scan(ways), 8)}
+        victim_line = a_lines[victim]
+        if victim_line is not None:
+            evictions += 1
+            vd = a_dirty[victim]
+            if vd:
+                writebacks += 1
+            last_eviction = (victim_line, vd)
+            del a_idx[victim_line]
+        else:
+            last_eviction = None
+        a_lines[victim] = line
+        a_dirty[victim] = True if w else False
+        a_time[victim] = cbase + i
+        a_idx[line] = victim
+    stats = l2.stats
+    stats.accesses += n_records
+    stats.hits += hits
+    stats.misses += n_records - hits
+    stats.evictions += evictions
+    stats.writebacks += writebacks
+    l2._clock = cbase + n_records - 1
+    if last_eviction is not _UNSET:
+        l2.last_eviction = (
+            EvictedLine(*last_eviction) if last_eviction is not None else None
+        )
+    hstats = hierarchy.stats
+    hstats.accesses += n_accesses
+    hstats.l1_misses += l1_miss_count
+    hstats.l2_accesses += n_records
+    hstats.l2_misses += n_records - hits
+    if max_instruction >= hstats.instructions:
+        hstats.instructions = max_instruction + 1
+"""
+    return source
+
+
+def _hier_kernel_for(ways: int):
+    entry = _HIER_KERNELS.get(ways)
+    if entry is None:
+        source = _build_hierarchy_source(ways)
+        namespace = {"EvictedLine": EvictedLine, "_UNSET": _UNSET}
+        exec(compile(source, f"<specialized hier {ways}w>", "exec"), namespace)
+        entry = (namespace["_replay_hier"], source)
+        _HIER_KERNELS[ways] = entry
+    return entry[0]
+
+
+def _hier_cols(record, num_sets: int, ways: int):
+    """Slot columns for the baseline L2, through the same LRU memo the
+    chip kernels use — a baseline and any chip variant of the same L2
+    geometry share one entry, so a population sweep computes the slot
+    matrix exactly once per (record, geometry)."""
+    return _slot_cols(record, num_sets, ways, _precomp_memo(record))
+
+
+def replay_hierarchy_specialized(hierarchy, record):
+    """Full-record replay through the baseline's specialized kernel.
+
+    Drop-in equivalent of the inline hierarchy fast path: bit-identical
+    final state (L2 contents, timestamps, clock, ``last_eviction``,
+    every stat), selected automatically by ``run_hierarchy_filtered``
+    when the hierarchy is eligible.
+    """
+    record.require_match(hierarchy.config)
+    if not _hierarchy_fast_eligible(hierarchy):
+        raise ValueError(
+            "hierarchy is not specializable (probe, prefetcher, or "
+            "non-standard L2); use run_filtered instead"
+        )
+    l2 = hierarchy.l2
+    kernel = _hier_kernel_for(l2.ways)
+    rec_line, w_b, full_counts = _record_base(record)
+    cols = _hier_cols(record, l2.num_sets, l2.ways)
+    kernel(
+        hierarchy, rec_line, w_b, cols, len(rec_line), record.accesses,
+        full_counts[0] + full_counts[1] + full_counts[3],
+        record.max_instruction,
+    )
+    return hierarchy.stats

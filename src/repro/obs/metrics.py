@@ -328,3 +328,29 @@ def _merge_metric(target: "dict[str, object]", data: "dict[str, object]") -> Non
         ]
     else:
         raise ValueError(f"unknown metric type {kind!r}")
+
+
+# -- the process-global obs registry ------------------------------------
+#
+# Long-lived infrastructure (kernel memo caches, shared-memory record
+# lifecycles) counts what it did here, the same way fault/recovery
+# seams count on :data:`repro.runtime.health.HEALTH`.  One registry per
+# process; worker processes keep their own (their counts describe their
+# own attaches/evictions).
+
+#: the process-global metrics registry
+PROCESS = MetricsRegistry()
+
+
+def process_counter(name: str) -> Counter:
+    """The named process-global counter (created on first use)."""
+    return PROCESS.counter(name)
+
+
+def process_snapshot() -> "dict[str, int]":
+    """Flat ``{counter name: value}`` view of the process counters."""
+    return {
+        name: instrument["value"]
+        for name, instrument in PROCESS.to_dict().items()
+        if instrument.get("type") == "counter"
+    }

@@ -1,0 +1,275 @@
+"""Population-batch evaluation: one record load, many variants.
+
+Covers the :mod:`repro.kernels.sweep` contract end to end — the
+shared-memory segment lifecycle (publish / attach / release, manifest
+owner lists, ``/dev/shm`` hygiene), the record resolution order
+(inherited → shared → sidecar), the ``shared_record_loads == 1`` happy
+path in both serial and multi-worker mode, and row identity against the
+per-job :func:`~repro.experiments.variants.run_sweep` path.  Also pins
+the bounded in-process caches feeding the sweep: the ``ensure_l1_filter``
+open-record LRU and the per-record precompute memo.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.kernels import sweep
+from repro.kernels.l1filter import (
+    build_l1_filter,
+    drop_open_records,
+    ensure_l1_filter,
+)
+from repro.kernels.sweep import (
+    PopulationResult,
+    attach_record,
+    drop_shared_records,
+    evaluate_population,
+    population_job,
+    publish_record,
+    record_key,
+    release_record,
+)
+from repro.obs.metrics import process_counter
+from repro.runtime import EventBus, ExperimentRuntime, ResultCache, RuntimeConfig
+
+SCALE = 0.05
+
+#: payload keys that must agree between the per-job and population paths
+STAT_KEYS = (
+    "workload",
+    "variant",
+    "l1_misses",
+    "l2_accesses",
+    "l2_misses",
+    "migrations",
+    "instructions",
+    "references",
+)
+
+
+@pytest.fixture(autouse=True)
+def _pristine(tmp_path, monkeypatch):
+    """Private cache root and empty record/segment state per test."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    drop_open_records()
+    drop_shared_records()
+    yield
+    sweep.release_owned()
+    drop_shared_records()
+    drop_open_records()
+
+
+def _runtime(root, jobs=1, **config_kwargs):
+    return ExperimentRuntime(
+        config=RuntimeConfig(jobs=jobs, **config_kwargs),
+        cache=ResultCache(root=root),
+        bus=EventBus([]),
+    )
+
+
+def _stats(row):
+    return {key: row[key] for key in STAT_KEYS}
+
+
+def _tiny_record(l2_span=600, n=400):
+    rng = np.random.default_rng(7)
+    lines = rng.integers(0, l2_span, size=n, dtype=np.int64)
+    addresses = lines * 64
+    kinds = rng.integers(0, 3, size=n).astype(np.int8)
+    instructions = np.cumsum(rng.integers(0, 4, size=n, dtype=np.int64))
+    return build_l1_filter(addresses, kinds, instructions)
+
+
+class TestSerialPopulation:
+    def test_rows_match_the_per_job_sweep(self, tmp_path):
+        from repro.experiments.variants import VARIANT_NAMES, run_sweep
+
+        cache = ResultCache(root=tmp_path)
+        result = evaluate_population("mst", scale=SCALE, cache=cache)
+        assert isinstance(result, PopulationResult)
+        assert [row["variant"] for row in result.rows] == list(VARIANT_NAMES)
+        # the coordinator built the record once; every in-process job
+        # found that same object
+        assert result.shared_record_loads == 1
+        assert result.record_sources == {"inherited": len(VARIANT_NAMES)}
+        assert all(row["record_loads"] == 0 for row in result.rows)
+        assert result.wall_seconds > 0
+
+        # bit-identical ChipStats vs the per-job path on the same trace
+        per_job = run_sweep("mst", scale=SCALE)
+        assert [_stats(row) for row in result.rows] == [
+            _stats(row) for row in per_job
+        ]
+
+    def test_row_for_lookup(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        result = evaluate_population("mst", scale=SCALE, cache=cache)
+        assert result.row_for("migration")["variant"] == "migration"
+        with pytest.raises(KeyError):
+            result.row_for("warp-drive")
+
+
+class TestParallelPopulation:
+    def test_workers_share_one_record_load(self, tmp_path):
+        runtime = _runtime(tmp_path, jobs=2)
+        try:
+            result = evaluate_population("mst", scale=SCALE, runtime=runtime)
+        finally:
+            runtime.close()
+        assert result.shared_record_loads == 1
+        # every worker resolved the record without touching the npz
+        assert "sidecar" not in result.record_sources
+        assert all(row["record_loads"] == 0 for row in result.rows)
+
+        # the segment and its manifest are gone once the sweep returns
+        key = record_key(runtime.cache, "mst", SCALE, None)
+        assert not (Path("/dev/shm") / f"rl1f_{key}").exists()
+        assert not (tmp_path / sweep.SHM_DIR / f"{key}.json").exists()
+
+        # identical rows to the serial per-job path
+        from repro.experiments.variants import run_sweep
+
+        per_job = run_sweep("mst", scale=SCALE)
+        assert [_stats(row) for row in result.rows] == [
+            _stats(row) for row in per_job
+        ]
+
+
+class TestSegmentLifecycle:
+    def test_publish_attach_release(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        record = _tiny_record()
+        key = record_key(cache, "mst", SCALE, None)
+        segment = Path("/dev/shm") / f"rl1f_{key}"
+        manifest_path = tmp_path / sweep.SHM_DIR / f"{key}.json"
+
+        assert publish_record(cache, key, record)
+        assert segment.exists()
+        manifest = json.loads(manifest_path.read_text())
+        assert os.getpid() in manifest["owners"]
+        assert manifest["segment"] == f"rl1f_{key}"
+        assert manifest["meta"]["records"] == record.records
+
+        # publishing again from the same process is an idempotent no-op
+        published = process_counter("sweep.shm.published").value
+        assert publish_record(cache, key, record)
+        assert process_counter("sweep.shm.published").value == published
+
+        attached = attach_record(cache, key)
+        assert attached is not None
+        np.testing.assert_array_equal(attached.indices, record.indices)
+        np.testing.assert_array_equal(attached.lines, record.lines)
+        np.testing.assert_array_equal(attached.kinds, record.kinds)
+        assert attached.accesses == record.accesses
+        assert attached.max_instruction == record.max_instruction
+        # zero-copy: the arrays are views over the segment, not copies
+        assert not attached.lines.flags.owndata
+
+        release_record(cache, key)
+        assert not segment.exists()
+        assert not manifest_path.exists()
+
+    def test_attach_without_manifest_returns_none(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        assert attach_record(cache, "no-such-key") is None
+
+    def test_dead_owner_does_not_pin_a_manifest(self, tmp_path):
+        # A manifest whose every owner pid is dead reads as "no live
+        # segment": attach falls back, publish takes the key over.
+        cache = ResultCache(root=tmp_path)
+        record = _tiny_record()
+        key = record_key(cache, "mst", SCALE, None)
+        manifest_path = tmp_path / sweep.SHM_DIR / f"{key}.json"
+        manifest_path.parent.mkdir(parents=True, exist_ok=True)
+        manifest_path.write_text(
+            json.dumps(
+                {
+                    "segment": f"rl1f_{key}",
+                    "owners": [2**30],  # no such pid
+                    "meta": {"records": record.records},
+                }
+            )
+        )
+        assert attach_record(cache, key) is None
+        assert publish_record(cache, key, record)
+        owners = json.loads(manifest_path.read_text())["owners"]
+        assert owners == [os.getpid()]
+        release_record(cache, key)
+
+
+class TestRecordKey:
+    def test_deterministic_and_sensitive(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = record_key(cache, "mst", 0.05, None)
+        assert key == record_key(cache, "mst", 0.05, None)
+        assert key != record_key(cache, "mst", 0.1, None)
+        assert key != record_key(cache, "mst", 0.05, 7)
+        assert key != record_key(cache, "em3d", 0.05, None)
+        # a code edit mints a new generation: old segments unreachable
+        other = ResultCache(root=tmp_path, code_version="0123456789abcdef")
+        assert key != record_key(other, "mst", 0.05, None)
+
+
+class TestSidecarFallback:
+    def test_share_disabled_reads_the_sidecar(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        ensure_l1_filter("mst", scale=SCALE, cache=cache)  # build sidecar
+        drop_open_records()
+        row = population_job("mst", "baseline", scale=SCALE, share=False)
+        assert row["record_source"] == "sidecar"
+        assert row["record_loads"] == 1
+        assert row["l1_filter_cached"] is False
+
+    def test_fallback_counter_ticks_when_segment_is_missing(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        ensure_l1_filter("mst", scale=SCALE, cache=cache)
+        drop_open_records()
+        fallbacks = process_counter("sweep.shm.fallbacks").value
+        row = population_job("mst", "baseline", scale=SCALE, share=True)
+        assert row["record_source"] == "sidecar"
+        assert process_counter("sweep.shm.fallbacks").value == fallbacks + 1
+
+
+class TestBoundedCaches:
+    def test_open_record_lru_evicts_and_recounts(self, tmp_path, monkeypatch):
+        import repro.kernels.l1filter as l1filter
+
+        monkeypatch.setattr(l1filter, "_RECORD_CACHE_CAP", 1)
+        cache = ResultCache(root=tmp_path)
+        ensure_l1_filter("mst", scale=0.02, cache=cache)
+        ensure_l1_filter("mst", scale=0.03, cache=cache)
+        drop_open_records()
+
+        evictions = process_counter("l1filter.record_cache.evictions")
+        hits = process_counter("l1filter.record_cache.hits")
+        before_evictions = evictions.value
+        ensure_l1_filter("mst", scale=0.02, cache=cache)  # load, remember
+        ensure_l1_filter("mst", scale=0.03, cache=cache)  # load, evict 0.02
+        assert evictions.value == before_evictions + 1
+        before_hits = hits.value
+        record_a, cached = ensure_l1_filter("mst", scale=0.03, cache=cache)
+        record_b, _ = ensure_l1_filter("mst", scale=0.03, cache=cache)
+        assert cached and record_a is record_b
+        assert hits.value == before_hits + 2
+
+    def test_precompute_memo_is_bounded(self, monkeypatch):
+        import repro.kernels.specialize as specialize
+        from repro.caches.hierarchy import CoreCacheConfig, SingleCoreHierarchy
+        from repro.kernels.specialize import replay_hierarchy_specialized
+
+        monkeypatch.setattr(specialize, "_PRECOMP_CAP", 1)
+        record = _tiny_record()
+        evictions = process_counter("kernels.precompute.evictions")
+        before = evictions.value
+        for l2_bytes in (32 * 1024, 64 * 1024):
+            hierarchy = SingleCoreHierarchy(
+                CoreCacheConfig(l2_bytes=l2_bytes)
+            )
+            replay_hierarchy_specialized(hierarchy, record)
+        assert evictions.value > before
+        memo = record.__dict__[specialize._PRECOMP_ATTR]
+        assert len(memo) <= 1
